@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench figures figures-full examples clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+# One benchmark per paper table/figure plus micro/ablation benches.
+# Set BEYONDFT_PRINT=1 to also print the regenerated rows.
+bench:
+	go test -timeout 0 -bench=. -benchmem ./...
+
+figures:
+	go run ./cmd/figures
+
+figures-full:
+	go run ./cmd/figures -full
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/routing
+	go run ./examples/throughputprop
+	go run ./examples/skewed
+	go run ./examples/rotornet
+
+clean:
+	go clean ./...

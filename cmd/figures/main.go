@@ -1,0 +1,105 @@
+// Command figures regenerates the paper's tables and figures and prints
+// their rows. By default it runs every experiment at the laptop-scale
+// configuration; -full switches to the paper-scale configuration, and -fig
+// selects a subset (comma-separated ids, e.g. -fig fig5a,fig9).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"beyondft/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper-scale configurations (slow)")
+	only := flag.String("fig", "", "comma-separated figure ids to run (default: all)")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *full {
+		cfg = experiments.PaperConfig()
+	}
+	cfg.Seed = *seed
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type driver struct {
+		id  string
+		run func() []*experiments.Figure
+	}
+	drivers := []driver{
+		{"table1", func() []*experiments.Figure { return []*experiments.Figure{experiments.Table1CostModel()} }},
+		{"fig2", func() []*experiments.Figure { return []*experiments.Figure{experiments.Figure2TP()} }},
+		{"fig3", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure3Xpander()} }},
+		{"fig4", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure4Toy()} }},
+		{"fig5a", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure5a()} }},
+		{"fig5b", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure5b()} }},
+		{"fig5alt", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure5Alt()} }},
+		{"fig6a", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure6a()} }},
+		{"fig6b", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure6b()} }},
+		{"fig7b", cfg.Figure7b},
+		{"fig7c", cfg.Figure7c},
+		{"fig8", func() []*experiments.Figure { return []*experiments.Figure{experiments.Figure8FlowSizes()} }},
+		{"fig9", cfg.Figure9},
+		{"fig10", cfg.Figure10},
+		{"fig11", cfg.Figure11},
+		{"fig12", cfg.Figure12},
+		{"fig13", cfg.Figure13},
+		{"fig14", cfg.Figure14},
+		{"fig15", cfg.Figure15},
+		{"fig-rotor", cfg.ExtensionRotorNet},
+		{"fig-failures", func() []*experiments.Figure {
+			return []*experiments.Figure{cfg.ExtensionFailureResilience()}
+		}},
+	}
+	ran := 0
+	for _, d := range drivers {
+		if !selected(d.id) {
+			continue
+		}
+		start := time.Now()
+		figs := d.run()
+		for _, f := range figs {
+			f.Fprint(os.Stdout)
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, f.ID+".csv")
+				out, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+					os.Exit(1)
+				}
+				if err := f.WriteCSV(out); err != nil {
+					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+					os.Exit(1)
+				}
+				out.Close()
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", d.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no figures matched -fig=%q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+// Command throughput evaluates a topology's per-server throughput in the
+// fluid-flow model (§5) under a chosen traffic matrix family and active
+// fraction, and prints the dynamic-model baselines at equal cost.
+//
+// Example:
+//
+//	throughput -topo slimfly -q 5 -servers 6 -tm longest-matching -x 0.4
+//	throughput -topo jellyfish -n 54 -degree 9 -servers 6 -tm all-to-all -x 0.2 -exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"beyondft/internal/fluid"
+	"beyondft/internal/tm"
+	"beyondft/internal/topology"
+	"beyondft/internal/workload"
+)
+
+func main() {
+	kind := flag.String("topo", "jellyfish", "fattree | jellyfish | xpander | slimfly | longhop")
+	k := flag.Int("k", 8, "fat-tree k")
+	n := flag.Int("n", 54, "jellyfish: switch count")
+	degree := flag.Int("degree", 9, "network degree")
+	lift := flag.Int("lift", 9, "xpander lift")
+	servers := flag.Int("servers", 6, "servers per switch")
+	q := flag.Int("q", 5, "slimfly q")
+	dim := flag.Int("dim", 6, "longhop dim")
+	tmKind := flag.String("tm", "longest-matching", "longest-matching | permutation | all-to-all")
+	x := flag.Float64("x", 1.0, "fraction of active racks")
+	eps := flag.Float64("eps", 0.08, "GK approximation epsilon")
+	exact := flag.Bool("exact", false, "use the exact LP (small instances only)")
+	delta := flag.Float64("delta", 1.5, "flexible-port cost premium")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var t *topology.Topology
+	switch *kind {
+	case "fattree":
+		t = &topology.NewFatTree(*k).Topology
+	case "jellyfish":
+		t = topology.NewJellyfish(*n, *degree, *servers, rng)
+	case "xpander":
+		t = &topology.NewXpander(*degree, *lift, *servers, rng).Topology
+	case "slimfly":
+		t = &topology.NewSlimFly(*q, *servers).Topology
+	case "longhop":
+		t = &topology.NewLonghop(*dim, *degree, *servers).Topology
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *kind)
+		os.Exit(1)
+	}
+
+	racks := workload.ActiveRacks(t, *x, *kind == "fattree", rng)
+	serversOf := func(r int) int { return t.Servers[r] }
+	var m *tm.TM
+	switch *tmKind {
+	case "longest-matching":
+		m = tm.LongestMatching(t.G, racks, serversOf)
+	case "permutation":
+		if len(racks)%2 == 1 {
+			racks = racks[:len(racks)-1]
+		}
+		m = tm.RandomPermutation(racks, serversOf, rng)
+	case "all-to-all":
+		m = tm.AllToAll(racks, serversOf)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tm %q\n", *tmKind)
+		os.Exit(1)
+	}
+	if err := m.ValidateHose(serversOf); err != nil {
+		fmt.Fprintf(os.Stderr, "TM violates hose model: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("topology: %s (%d switches, %d servers)\n", t.Name, t.NumSwitches(), t.TotalServers())
+	fmt.Printf("tm:       %s over %d racks (x=%.2f)\n", m.Name, len(racks), *x)
+
+	if *exact {
+		v, err := fluid.ThroughputExact(t.G, m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exact LP failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("throughput/server (exact LP): %.4f\n", v)
+	} else {
+		nw := fluid.NewNetwork(t.G, 1.0)
+		res := fluid.MaxConcurrentFlow(nw, fluid.Commodities(m), fluid.GKOptions{Epsilon: *eps})
+		thr := res.Throughput
+		if thr > 1 {
+			thr = 1
+		}
+		fmt.Printf("throughput/server (GK, eps=%.2f): %.4f (dual bound %.4f, %d phases)\n",
+			*eps, thr, res.UpperBound, res.Phases)
+	}
+
+	// Equal-cost dynamic baselines.
+	if d, ok := t.G.IsRegular(); ok && t.TotalServers() > 0 {
+		s := float64(t.TotalServers()) / float64(t.NumSwitches())
+		rDyn := float64(d) / *delta
+		fmt.Printf("unrestricted dynamic (delta=%.1f): %.4f\n",
+			*delta, fluid.UnrestrictedDynamic(rDyn, s))
+		fmt.Printf("restricted dynamic bound:          %.4f\n",
+			fluid.RestrictedDynamic(len(racks), int(rDyn), s))
+	}
+}

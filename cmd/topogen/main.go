@@ -1,0 +1,106 @@
+// Command topogen builds any of the repository's topologies and prints its
+// structural properties: sizes, degree, diameter, average shortest path,
+// spectral gap, and port/cost accounting.
+//
+// Examples:
+//
+//	topogen -topo fattree -k 16
+//	topogen -topo xpander -degree 11 -lift 18 -servers 5
+//	topogen -topo jellyfish -n 216 -degree 11 -servers 5
+//	topogen -topo slimfly -q 17 -servers 24
+//	topogen -topo longhop -dim 9 -degree 10 -servers 8
+//	topogen -topo fattree -k 16 -cost 0.77
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"beyondft/internal/cost"
+	"beyondft/internal/topology"
+)
+
+func main() {
+	kind := flag.String("topo", "fattree", "fattree | jellyfish | xpander | slimfly | longhop | dragonfly | lps")
+	k := flag.Int("k", 16, "fat-tree k")
+	costFrac := flag.Float64("cost", 1.0, "fat-tree: build at this fraction of full cost")
+	n := flag.Int("n", 216, "jellyfish: switch count")
+	degree := flag.Int("degree", 11, "network degree (jellyfish/xpander/longhop)")
+	lift := flag.Int("lift", 18, "xpander: switches per meta-node")
+	servers := flag.Int("servers", 5, "servers per switch")
+	q := flag.Int("q", 17, "slimfly: prime q = 1 mod 4")
+	dim := flag.Int("dim", 9, "longhop: dimension (2^dim switches)")
+	dfA := flag.Int("a", 4, "dragonfly: routers per group")
+	dfH := flag.Int("h", 2, "dragonfly: global links per router")
+	lpsP := flag.Int("p", 5, "lps: generator prime p (p+1 = degree)")
+	lpsQ := flag.Int("lpsq", 13, "lps: field prime q")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var t *topology.Topology
+	switch *kind {
+	case "fattree":
+		var ft *topology.FatTree
+		if *costFrac < 1.0 {
+			ft = topology.NewFatTreeAtCost(*k, *costFrac)
+		} else {
+			ft = topology.NewFatTree(*k)
+		}
+		t = &ft.Topology
+		fmt.Printf("fat-tree k=%d, core oversubscription %.2f\n", ft.K, ft.OversubscriptionRatio())
+	case "jellyfish":
+		t = topology.NewJellyfish(*n, *degree, *servers, rng)
+	case "xpander":
+		x := topology.NewXpander(*degree, *lift, *servers, rng)
+		t = &x.Topology
+		fmt.Printf("xpander: %d meta-nodes x %d switches, %d cable bundles of %d cables\n",
+			x.D+1, x.Lift, (x.D+1)*x.D/2, x.Lift)
+	case "slimfly":
+		sf := topology.NewSlimFly(*q, *servers)
+		t = &sf.Topology
+	case "longhop":
+		lh := topology.NewLonghop(*dim, *degree, *servers)
+		t = &lh.Topology
+		fmt.Printf("longhop generators: %d (incl. %d unit vectors)\n", len(lh.Generators), lh.Dim)
+	case "dragonfly":
+		df := topology.NewDragonFly(*dfA, *dfH, *servers)
+		t = &df.Topology
+		fmt.Printf("dragonfly: %d groups of %d routers\n", df.Groups(), df.A)
+	case "lps":
+		l := topology.NewLPS(*lpsP, *lpsQ, *servers)
+		t = &l.Topology
+		group := "PSL"
+		if l.OverPGL {
+			group = "PGL"
+		}
+		fmt.Printf("lps: Ramanujan graph X^{%d,%d} over %s(2,%d)\n", l.P, l.Q, group, l.Q)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *kind)
+		os.Exit(1)
+	}
+	if err := t.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "invalid topology: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("name:            %s\n", t.Name)
+	fmt.Printf("switches:        %d\n", t.NumSwitches())
+	fmt.Printf("servers:         %d\n", t.TotalServers())
+	fmt.Printf("cables:          %d\n", t.Cables())
+	fmt.Printf("ports (network): %d\n", t.NetworkPorts())
+	fmt.Printf("ports (total):   %d\n", t.TotalPortsUsed())
+	fmt.Printf("port cost:       $%.0f (static, Table 1 prices)\n",
+		float64(t.TotalPortsUsed())*cost.StaticPortDollars())
+	if d, ok := t.G.IsRegular(); ok {
+		fmt.Printf("network degree:  %d (regular)\n", d)
+		l2 := t.G.SecondEigenvalue(200, rng)
+		fmt.Printf("lambda2:         %.3f (Ramanujan bound 2*sqrt(d-1) = %.3f)\n",
+			l2, 2*math.Sqrt(float64(d-1)))
+	}
+	fmt.Printf("diameter:        %d\n", t.G.Diameter())
+	fmt.Printf("avg path:        %.3f hops\n", t.G.AvgShortestPath())
+}

@@ -1,0 +1,52 @@
+// Skewed-traffic study (§6.6–§6.7): sweep the skew parameter φ of
+// Skew(θ,φ) and watch where the cheap Xpander with HYB routing matches the
+// full-bandwidth fat-tree — including the dynamic-network models' view of
+// the same workloads in the fluid model.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"beyondft/internal/fluid"
+	"beyondft/internal/netsim"
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+	"beyondft/internal/workload"
+)
+
+func main() {
+	ft := topology.NewFatTree(8)
+	xp := topology.NewXpander(5, 9, 3, rand.New(rand.NewSource(1)))
+
+	fmt.Println("Packet-level: Skew(theta=0.04, phi) at 8 flows/s/server, pFabric sizes")
+	fmt.Printf("%-8s %-22s %-22s\n", "phi", "fat-tree avg FCT (ms)", "xpander-HYB avg FCT (ms)")
+	for _, phi := range []float64{0.25, 0.5, 0.77, 0.9} {
+		res := func(t *topology.Topology, routing netsim.RoutingScheme) workload.Result {
+			rng := rand.New(rand.NewSource(3))
+			pairs := workload.NewSkew(t, 0.04, phi, rng)
+			cfg := netsim.DefaultConfig()
+			cfg.Routing = routing
+			net := netsim.NewNetwork(t, cfg)
+			exp := workload.DefaultExperiment(pairs, workload.PFabricWebSearch(),
+				8*float64(t.TotalServers()),
+				50*sim.Millisecond, 250*sim.Millisecond, 1500*sim.Millisecond, 3)
+			return exp.Run(net)
+		}
+		a := res(&ft.Topology, netsim.ECMP)
+		b := res(&xp.Topology, netsim.HYB)
+		fmt.Printf("%-8.2f %-22.2f %-22.2f\n", phi, a.AvgFCTMs, b.AvgFCTMs)
+	}
+
+	// The dynamic-topology models' view of the same cost point (δ=1.5):
+	// Xpander ToRs have 5 network ports and 3 servers, so an equal-cost
+	// dynamic design gets 5/1.5 flexible ports.
+	rDyn := 5.0 / 1.5
+	fmt.Printf("\nFluid-model dynamic baselines at the Xpander's cost point (delta=1.5):\n")
+	fmt.Printf("  unrestricted dynamic: throughput/server = %.2f\n",
+		fluid.UnrestrictedDynamic(rDyn, 3))
+	fmt.Printf("  restricted dynamic (all %d ToRs active): <= %.2f (Moore bound)\n",
+		xp.NumSwitches(), fluid.RestrictedDynamic(xp.NumSwitches(), int(rDyn), 3))
+	fmt.Println("\nThe static Xpander needs no reconfiguration, buffering, or traffic")
+	fmt.Println("estimation to serve the hotspots dynamic designs are built for.")
+}

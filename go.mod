@@ -1,0 +1,3 @@
+module beyondft
+
+go 1.22

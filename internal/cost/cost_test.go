@@ -1,0 +1,54 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	want := map[string]float64{
+		"static":         215,
+		"firefly":        370,
+		"projector-low":  320,
+		"projector-high": 420,
+	}
+	for _, pc := range Table1() {
+		if w, ok := want[pc.Technology]; !ok || math.Abs(pc.Dollars-w) > 1e-9 {
+			t.Errorf("%s = $%v, want $%v", pc.Technology, pc.Dollars, w)
+		}
+	}
+	if StaticPortDollars() != 215 {
+		t.Fatalf("static port = %v, want 215", StaticPortDollars())
+	}
+}
+
+func TestDeltaAtLeast1Point5(t *testing.T) {
+	// "Based on component costs ... the lowest estimates imply δ = 1.5."
+	for _, tech := range []string{"firefly", "projector-low", "projector-high"} {
+		if d := Delta(tech); d < 1.48 {
+			t.Errorf("delta(%s) = %v, want >= ~1.5", tech, d)
+		}
+	}
+	if Delta("static") != 1 {
+		t.Fatalf("delta(static) should be exactly 1")
+	}
+	if Delta("nonexistent") != 0 {
+		t.Fatalf("unknown technology should return 0")
+	}
+}
+
+func TestEqualCostConversions(t *testing.T) {
+	// A dynamic network can buy 1/δ of the static ports: the paper's 0.67x.
+	got := DynamicPortsForEqualCost(300, 1.5)
+	if math.Abs(got-200) > 1e-9 {
+		t.Fatalf("dynamic ports = %v, want 200", got)
+	}
+	// And the §7 rule: compare a dynamic design with x ports against a
+	// static design with δx ports.
+	if s := StaticPortsForEqualCost(200, 1.5); math.Abs(s-300) > 1e-9 {
+		t.Fatalf("static ports = %v, want 300", s)
+	}
+	if DynamicPortsForEqualCost(100, 0) != 0 {
+		t.Fatalf("zero delta should yield 0")
+	}
+}

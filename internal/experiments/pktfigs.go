@@ -1,0 +1,437 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"beyondft/internal/netsim"
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+	"beyondft/internal/workload"
+)
+
+// pktSetup is one (topology, routing, workload) curve of a packet-sim figure.
+type pktSetup struct {
+	label          string
+	topo           *topology.Topology
+	routing        netsim.RoutingScheme
+	serverLinkGbps float64 // 0 = constrained at line rate
+	pairs          workload.PairDist
+}
+
+// racksForServerTarget accumulates racks (randomly for flat topologies,
+// consecutively for fat-trees) until they host at least target servers, so
+// the same number of servers is active in every compared topology (§6.4).
+func racksForServerTarget(t *topology.Topology, target int, consecutive bool, rng *rand.Rand) []int {
+	tors := t.ToRs()
+	if !consecutive {
+		shuffled := append([]int(nil), tors...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		tors = shuffled
+	}
+	var out []int
+	total := 0
+	for _, r := range tors {
+		out = append(out, r)
+		total += t.Servers[r]
+		if total >= target && len(out) >= 2 {
+			break
+		}
+	}
+	return out
+}
+
+// lambdaSweep runs every setup across aggregate flow-arrival rates and
+// returns the three §6.4 metric figures: (a) average FCT, (b) 99th-pct FCT
+// of short flows, (c) average long-flow throughput.
+func (c Config) lambdaSweep(id, title string, setups []pktSetup,
+	sizes workload.FlowSizeDist, lambdas []float64) []*Figure {
+	mk := func(suffix, ylabel string) *Figure {
+		return &Figure{
+			ID:     id + suffix,
+			Title:  title,
+			XLabel: "lambda (flow-starts/s)",
+			YLabel: ylabel,
+		}
+	}
+	figA := mk("a", "average FCT (ms)")
+	figB := mk("b", "99th-pct FCT of <100KB flows (ms)")
+	figC := mk("c", "avg throughput of >=100KB flows (Gbps)")
+	for si, s := range setups {
+		var ya, yb, yc []float64
+		for li, lambda := range lambdas {
+			res := c.runExperiment(s.topo, s.routing, s.serverLinkGbps, s.pairs, sizes,
+				lambda, int64(1000*si+li))
+			ya = append(ya, res.AvgFCTMs)
+			yb = append(yb, res.P99ShortFCTMs)
+			yc = append(yc, res.AvgLongTputGbps)
+			if res.Overloaded {
+				figA.Notes = append(figA.Notes,
+					fmt.Sprintf("%s overloaded at lambda=%.0f (%d/%d measured flows done)",
+						s.label, lambda, res.CompletedFlows, res.MeasuredFlows))
+			}
+		}
+		figA.Series = append(figA.Series, Series{Label: s.label, X: lambdas, Y: ya})
+		figB.Series = append(figB.Series, Series{Label: s.label, X: lambdas, Y: yb})
+		figC.Series = append(figC.Series, Series{Label: s.label, X: lambdas, Y: yc})
+	}
+	return []*Figure{figA, figB, figC}
+}
+
+// Figure7bc reproduces the routing corner cases of Fig. 7: (b) two adjacent
+// racks in Xpander (same-pod racks in the fat-tree) and (c) all-to-all, for
+// ECMP vs VLB vs the full-bandwidth fat-tree.
+func (c Config) Figure7b() []*Figure {
+	// Few active servers -> few flows per unit time: stretch the scaled
+	// measurement window so each point averages hundreds of flows.
+	if !c.Full {
+		c.MeasureStart = 100 * sim.Millisecond
+		c.MeasureEnd = 600 * sim.Millisecond
+		c.MaxSimTime = 1500 * sim.Millisecond
+	}
+	ft := c.BaselineFatTree()
+	xp := c.CheapXpander()
+	nPerRack := 5
+	if !c.Full {
+		nPerRack = 3
+	}
+	// Fat-tree: two edge switches of pod 0. Xpander: rack 0 and a neighbor.
+	ftPairs := workload.NewTwoRacks(&ft.Topology, ft.EdgeBase[0], ft.EdgeBase[0]+1, nPerRack)
+	xpNeighbor := xp.G.Neighbors(0)[0]
+	xpPairs := workload.NewTwoRacks(&xp.Topology, 0, xpNeighbor, nPerRack)
+
+	active := float64(2 * nPerRack)
+	perServer := []float64{50, 100, 150, 200, 250, 300}
+	lambdas := make([]float64, len(perServer))
+	for i, r := range perServer {
+		lambdas[i] = r * active
+	}
+	setups := []pktSetup{
+		{label: "fat-tree", topo: &ft.Topology, routing: netsim.ECMP, pairs: ftPairs},
+		{label: "xpander-ecmp", topo: &xp.Topology, routing: netsim.ECMP, pairs: xpPairs},
+		{label: "xpander-vlb", topo: &xp.Topology, routing: netsim.VLB, pairs: xpPairs},
+	}
+	figs := c.lambdaSweep("fig7b", "Adjacent-rack traffic: ECMP vs VLB", setups,
+		workload.PFabricWebSearch(), lambdas)
+	figs[0].Notes = append(figs[0].Notes,
+		"paper: ECMP saturates the single direct link; VLB exploits path diversity")
+	return figs[:1] // the paper shows only average FCT for 7(b)
+}
+
+// Figure7c is the all-to-all corner case of Fig. 7(c).
+func (c Config) Figure7c() []*Figure {
+	perServer := []float64{50, 100, 150, 200, 250, 290}
+	if !c.Full {
+		// All 128 servers are active: points are expensive, so the scaled
+		// run uses a tighter window, an early overload cap and fewer points.
+		c.MeasureEnd = c.MeasureStart + 25*sim.Millisecond
+		c.MaxSimTime = 200 * sim.Millisecond
+		perServer = []float64{50, 170, 290}
+	}
+	ft := c.BaselineFatTree()
+	xp := c.CheapXpander()
+	target := ft.TotalServers()
+	rng := c.rng(71)
+	ftPairs := workload.NewA2A(&ft.Topology, racksForServerTarget(&ft.Topology, target, true, rng))
+	xpPairs := workload.NewA2A(&xp.Topology, racksForServerTarget(&xp.Topology, target, false, rng))
+	lambdas := make([]float64, len(perServer))
+	for i, r := range perServer {
+		lambdas[i] = r * float64(target)
+	}
+	setups := []pktSetup{
+		{label: "fat-tree", topo: &ft.Topology, routing: netsim.ECMP, pairs: ftPairs},
+		{label: "xpander-ecmp", topo: &xp.Topology, routing: netsim.ECMP, pairs: xpPairs},
+		{label: "xpander-vlb", topo: &xp.Topology, routing: netsim.VLB, pairs: xpPairs},
+	}
+	figs := c.lambdaSweep("fig7c", "All-to-all traffic: VLB wastes capacity", setups,
+		workload.PFabricWebSearch(), lambdas)
+	figs[0].Notes = append(figs[0].Notes,
+		"paper: under uniform load ECMP matches the fat-tree while VLB deteriorates")
+	return figs[:1]
+}
+
+// Figure8FlowSizes tabulates the two flow size distributions (Fig. 8).
+func Figure8FlowSizes() *Figure {
+	f := &Figure{
+		ID:     "fig8",
+		Title:  "Flow size distributions",
+		XLabel: "flow size (bytes)",
+		YLabel: "CDF",
+	}
+	pf := workload.PFabricWebSearch()
+	sizes, cdf := pf.CDFPoints()
+	var xs, ys, yh []float64
+	ph := workload.NewParetoHULL()
+	for i := range sizes {
+		xs = append(xs, float64(sizes[i]))
+		ys = append(ys, cdf[i])
+		yh = append(yh, ph.CDFValue(float64(sizes[i])))
+	}
+	f.Series = append(f.Series,
+		Series{Label: "pfabric-websearch", X: xs, Y: ys},
+		Series{Label: "pareto-hull", X: xs, Y: yh})
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("means: pfabric=%.2f MB (paper 2.4 MB), pareto=%.1f KB (paper 100 KB)",
+			pf.Mean()/1e6, ph.Mean()/1e3))
+	return f
+}
+
+// fractionSweep runs the Fig. 9/10 style experiments: fixed per-server
+// arrival rate, increasing active-server fraction.
+func (c Config) fractionSweep(id, title string, permute bool) []*Figure {
+	if !c.Full {
+		c.MaxSimTime = 500 * sim.Millisecond
+	}
+	ft := c.BaselineFatTree()
+	xp := c.CheapXpander()
+	xs := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	if c.Full {
+		xs = fluidXPoints()
+	}
+	const perServerRate = 167.0
+	mk := func(suffix, ylabel string) *Figure {
+		return &Figure{ID: id + suffix, Title: title,
+			XLabel: "fraction of active servers", YLabel: ylabel}
+	}
+	figA := mk("a", "average FCT (ms)")
+	figB := mk("b", "99th-pct FCT of <100KB flows (ms)")
+	figC := mk("c", "avg throughput of >=100KB flows (Gbps)")
+
+	type setup struct {
+		label   string
+		topo    *topology.Topology
+		routing netsim.RoutingScheme
+		consec  bool
+	}
+	setups := []setup{
+		{label: "fat-tree", topo: &ft.Topology, routing: netsim.ECMP, consec: true},
+		{label: "xpander-ecmp", topo: &xp.Topology, routing: netsim.ECMP},
+		{label: "xpander-hyb", topo: &xp.Topology, routing: netsim.HYB},
+	}
+	for si, s := range setups {
+		var ya, yb, yc []float64
+		for xi, x := range xs {
+			target := int(x * float64(ft.TotalServers()))
+			if target < 4 {
+				target = 4
+			}
+			rng := c.rng(int64(9000 + 100*si + xi))
+			racks := racksForServerTarget(s.topo, target, s.consec, rng)
+			var pairs workload.PairDist
+			if permute {
+				if len(racks)%2 == 1 {
+					racks = racks[:len(racks)-1]
+				}
+				pairs = workload.NewPermute(s.topo, racks, rng)
+			} else {
+				pairs = workload.NewA2A(s.topo, racks)
+			}
+			lambda := perServerRate * float64(target)
+			res := c.runExperiment(s.topo, s.routing, 0, pairs, workload.PFabricWebSearch(),
+				lambda, int64(2000*si+xi))
+			ya = append(ya, res.AvgFCTMs)
+			yb = append(yb, res.P99ShortFCTMs)
+			yc = append(yc, res.AvgLongTputGbps)
+		}
+		figA.Series = append(figA.Series, Series{Label: s.label, X: xs, Y: ya})
+		figB.Series = append(figB.Series, Series{Label: s.label, X: xs, Y: yb})
+		figC.Series = append(figC.Series, Series{Label: s.label, X: xs, Y: yc})
+	}
+	return []*Figure{figA, figB, figC}
+}
+
+// Figure9 is the A2A(x) sweep (Fig. 9a–c).
+func (c Config) Figure9() []*Figure {
+	return c.fractionSweep("fig9", "A2A(x), pFabric sizes, 167 flows/s/server", false)
+}
+
+// Figure10 is the Permute(x) sweep (Fig. 10a–c).
+func (c Config) Figure10() []*Figure {
+	return c.fractionSweep("fig10", "Permute(x), pFabric sizes, 167 flows/s/server", true)
+}
+
+// Figure11 runs Permute(0.31) across arrival rates, including the
+// 77%-cost oversubscribed fat-tree (Fig. 11a–c).
+func (c Config) Figure11() []*Figure {
+	if !c.Full {
+		c.MaxSimTime = 500 * sim.Millisecond
+	}
+	ft := c.BaselineFatTree()
+	ft77 := topology.NewFatTreeAtCost(c.FatTreeK(), 0.77)
+	xp := c.CheapXpander()
+	target := int(0.31 * float64(ft.TotalServers()))
+	rng := c.rng(111)
+	mkPermute := func(t *topology.Topology, consec bool) workload.PairDist {
+		racks := racksForServerTarget(t, target, consec, rng)
+		if len(racks)%2 == 1 {
+			racks = racks[:len(racks)-1]
+		}
+		return workload.NewPermute(t, racks, rng)
+	}
+	perServer := []float64{60, 120, 190, 250, 310, 378}
+	if !c.Full {
+		perServer = []float64{60, 170, 280, 378}
+	}
+	lambdas := make([]float64, len(perServer))
+	for i, r := range perServer {
+		lambdas[i] = r * float64(target)
+	}
+	setups := []pktSetup{
+		{label: "fat-tree", topo: &ft.Topology, routing: netsim.ECMP, pairs: mkPermute(&ft.Topology, true)},
+		{label: "xpander-ecmp", topo: &xp.Topology, routing: netsim.ECMP, pairs: mkPermute(&xp.Topology, false)},
+		{label: "xpander-hyb", topo: &xp.Topology, routing: netsim.HYB, pairs: mkPermute(&xp.Topology, false)},
+		{label: "77%-fat-tree", topo: &ft77.Topology, routing: netsim.ECMP, pairs: mkPermute(&ft77.Topology, true)},
+	}
+	return c.lambdaSweep("fig11", "Permute(0.31), pFabric sizes, increasing load", setups,
+		workload.PFabricWebSearch(), lambdas)
+}
+
+// Figure12 is A2A(0.31) under the Pareto-HULL sizes: 99th-pct short-flow
+// FCT across (much higher) arrival rates.
+func (c Config) Figure12() []*Figure {
+	if !c.Full {
+		c.MaxSimTime = 500 * sim.Millisecond
+	}
+	ft := c.BaselineFatTree()
+	xp := c.CheapXpander()
+	target := int(0.31 * float64(ft.TotalServers()))
+	rng := c.rng(121)
+	ftPairs := workload.NewA2A(&ft.Topology, racksForServerTarget(&ft.Topology, target, true, rng))
+	xpPairs := workload.NewA2A(&xp.Topology, racksForServerTarget(&xp.Topology, target, false, rng))
+	perServer := []float64{1600, 3200, 4800, 6400, 8000, 9400}
+	lambdas := make([]float64, len(perServer))
+	for i, r := range perServer {
+		lambdas[i] = r * float64(target)
+	}
+	setups := []pktSetup{
+		{label: "fat-tree", topo: &ft.Topology, routing: netsim.ECMP, pairs: ftPairs},
+		{label: "xpander-ecmp", topo: &xp.Topology, routing: netsim.ECMP, pairs: xpPairs},
+		{label: "xpander-hyb", topo: &xp.Topology, routing: netsim.HYB, pairs: xpPairs},
+	}
+	figs := c.lambdaSweep("fig12", "A2A(0.31), Pareto-HULL sizes", setups,
+		workload.NewParetoHULL(), lambdas)
+	figs[1].Notes = append(figs[1].Notes,
+		"paper: Xpander's shorter paths give LOWER tail FCT than the fat-tree for tiny flows")
+	return figs[1:2] // the paper reports only the short-flow tail for Fig. 12
+}
+
+// projecToRXpander builds the flat Xpander of the §6.6 comparison: the same
+// ToR count as the fat-tree's edge layer, with (about) twice the fat-tree
+// ToR's uplink count as static network ports and no intermediate switches.
+func (c Config) projecToRXpander() *topology.Xpander {
+	if c.Full {
+		// 128 ToRs, 16 network ports, 8 servers: d=16 needs 17 meta-nodes;
+		// the closest valid lift uses d=15, lift=8 -> 128 switches.
+		return topology.NewXpander(15, 8, 8, c.rng(13))
+	}
+	// Scaled: 32 ToRs, target 8 net ports: d=7, lift=4 -> 32 switches.
+	return topology.NewXpander(7, 4, 4, c.rng(13))
+}
+
+// skewedComparison runs the §6.6/§6.7 comparisons: (a,b) with server-level
+// bottlenecks ignored, (c) with them modeled.
+func (c Config) skewedComparison(id, title string, mkPairs func(t *topology.Topology, salt int64) workload.PairDist,
+	ft *topology.FatTree, xp *topology.Xpander, perServer []float64) []*Figure {
+	// Low per-server arrival rates: stretch the scaled window for sample size.
+	if !c.Full {
+		c.MeasureStart = 100 * sim.Millisecond
+		c.MeasureEnd = 500 * sim.Millisecond
+		c.MaxSimTime = 1200 * sim.Millisecond
+	}
+	lambdas := make([]float64, len(perServer))
+	total := ft.TotalServers()
+	for i, r := range perServer {
+		lambdas[i] = r * float64(total)
+	}
+	const unconstrained = 4000 // Gbps: server links effectively infinite
+	setupsIgnored := []pktSetup{
+		{label: "fat-tree", topo: &ft.Topology, routing: netsim.ECMP, serverLinkGbps: unconstrained, pairs: mkPairs(&ft.Topology, 1)},
+		{label: "xpander-ecmp", topo: &xp.Topology, routing: netsim.ECMP, serverLinkGbps: unconstrained, pairs: mkPairs(&xp.Topology, 2)},
+		{label: "xpander-hyb", topo: &xp.Topology, routing: netsim.HYB, serverLinkGbps: unconstrained, pairs: mkPairs(&xp.Topology, 2)},
+	}
+	figsIgnored := c.lambdaSweep(id+"-nosrv", title+" (server bottlenecks ignored)",
+		setupsIgnored, workload.PFabricWebSearch(), lambdas)
+
+	setupsModeled := []pktSetup{
+		{label: "fat-tree", topo: &ft.Topology, routing: netsim.ECMP, pairs: mkPairs(&ft.Topology, 1)},
+		{label: "xpander-ecmp", topo: &xp.Topology, routing: netsim.ECMP, pairs: mkPairs(&xp.Topology, 2)},
+		{label: "xpander-hyb", topo: &xp.Topology, routing: netsim.HYB, pairs: mkPairs(&xp.Topology, 2)},
+	}
+	figsModeled := c.lambdaSweep(id+"-srv", title+" (server bottlenecks modeled)",
+		setupsModeled, workload.PFabricWebSearch(), lambdas)
+
+	// Panels: (a) avg FCT ignored, (b) p99 short ignored, (c) avg FCT modeled.
+	out := []*Figure{figsIgnored[0], figsIgnored[1], figsModeled[0]}
+	out[0].ID, out[1].ID, out[2].ID = id+"a", id+"b", id+"c"
+	return out
+}
+
+// Figure13 is the ProjecToR-style comparison (§6.6) under the synthetic
+// heavy-tailed rack-pair matrix (77% of mass on 4% of pairs).
+func (c Config) Figure13() []*Figure {
+	ft := c.BaselineFatTree()
+	xp := c.projecToRXpander()
+	perServer := []float64{2, 4, 6, 8, 10, 12, 14}
+	if !c.Full {
+		perServer = []float64{2, 6, 10, 14}
+	}
+	mk := func(t *topology.Topology, salt int64) workload.PairDist {
+		return workload.NewProjecToRLike(t, 0.04, 0.77, c.rng(130+salt))
+	}
+	figs := c.skewedComparison("fig13", "ProjecToR-like skewed matrix", mk, ft, xp, perServer)
+	figs[0].Notes = append(figs[0].Notes,
+		"substitution: synthetic 77%-over-4%-of-pairs matrix stands in for the proprietary trace (DESIGN.md)")
+	return figs
+}
+
+// Figure14 repeats the comparison under Skew(0.04, 0.77) (§6.7).
+func (c Config) Figure14() []*Figure {
+	ft := c.BaselineFatTree()
+	xp := c.projecToRXpander()
+	perServer := []float64{2, 4, 6, 8, 10, 12, 14}
+	if !c.Full {
+		perServer = []float64{2, 6, 10, 14}
+	}
+	mk := func(t *topology.Topology, salt int64) workload.PairDist {
+		return workload.NewSkew(t, 0.04, 0.77, c.rng(140+salt))
+	}
+	return c.skewedComparison("fig14", "Skew(0.04,0.77)", mk, ft, xp, perServer)
+}
+
+// Figure15 is the larger-scale skewed comparison: a k=24 fat-tree against an
+// Xpander at 45% of its cost (k=8 vs a 44%-cost Xpander scaled).
+func (c Config) Figure15() []*Figure {
+	if !c.Full {
+		c.MeasureStart = 100 * sim.Millisecond
+		c.MeasureEnd = 500 * sim.Millisecond
+		c.MaxSimTime = 1200 * sim.Millisecond
+	}
+	var ft *topology.FatTree
+	var xp *topology.Xpander
+	if c.Full {
+		ft = topology.NewFatTree(24)
+		// Paper: 322 switches of 24 ports vs the fat-tree's 720. The nearest
+		// valid lift is d=13, lift=23 -> 322 switches, 11 servers each.
+		xp = topology.NewXpander(13, 23, 11, c.rng(15))
+	} else {
+		ft = topology.NewFatTree(8)
+		xp = topology.NewXpander(4, 7, 4, c.rng(15)) // 35 switches, 44% cost
+	}
+	perServer := []float64{3, 8, 13, 18, 23}
+	mk := func(t *topology.Topology, salt int64) workload.PairDist {
+		return workload.NewSkew(t, 0.04, 0.77, c.rng(150+salt))
+	}
+	// Unlike Figs. 13/14, all three Fig. 15 panels model server-link
+	// capacity constraints.
+	setups := []pktSetup{
+		{label: "fat-tree", topo: &ft.Topology, routing: netsim.ECMP, pairs: mk(&ft.Topology, 1)},
+		{label: "xpander-ecmp", topo: &xp.Topology, routing: netsim.ECMP, pairs: mk(&xp.Topology, 2)},
+		{label: "xpander-hyb", topo: &xp.Topology, routing: netsim.HYB, pairs: mk(&xp.Topology, 2)},
+	}
+	lambdas := make([]float64, len(perServer))
+	for i, r := range perServer {
+		lambdas[i] = r * float64(ft.TotalServers())
+	}
+	return c.lambdaSweep("fig15", "Skew(0.04,0.77), k=24-class fat-tree vs 45%-cost Xpander",
+		setups, workload.PFabricWebSearch(), lambdas)
+}

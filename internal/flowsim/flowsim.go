@@ -1,0 +1,373 @@
+// Package flowsim is a flow-level (fluid) simulator complementing the
+// packet-level internal/netsim: flows are assigned paths and receive
+// max-min fair rates over link capacities, recomputed at every arrival and
+// departure. It abstracts away transport dynamics (DCTCP convergence,
+// queueing, retransmission) and in exchange simulates paper-scale
+// configurations — 1024+ servers at the §6.4 arrival rates — in seconds,
+// making it the right tool for first-pass sweeps before confirming shapes
+// at packet level.
+//
+// Routing mirrors netsim's schemes at flow granularity: ECMP pins a flow to
+// one sampled shortest path, VLB routes through a random intermediate, and
+// HYB sends flows below the Q threshold via ECMP and the rest via VLB.
+package flowsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+)
+
+// RoutingScheme selects flow-level path assignment.
+type RoutingScheme int
+
+// Flow-level analogues of netsim's schemes.
+const (
+	ECMP RoutingScheme = iota
+	VLB
+	HYB
+)
+
+// Config parameterizes the simulation.
+type Config struct {
+	LinkRateGbps         float64
+	ServerLinkRateGbps   float64 // 0 = same as LinkRateGbps
+	Routing              RoutingScheme
+	HybridThresholdBytes int64
+	Seed                 int64
+}
+
+// DefaultConfig mirrors netsim's §6.4 defaults at flow level.
+func DefaultConfig() Config {
+	return Config{
+		LinkRateGbps:         10,
+		Routing:              ECMP,
+		HybridThresholdBytes: 100_000,
+		Seed:                 1,
+	}
+}
+
+// Flow is one transfer.
+type Flow struct {
+	ID        int32
+	SrcServer int32
+	DstServer int32
+	SizeBytes int64
+	StartNs   sim.Time
+	EndNs     sim.Time
+	Done      bool
+
+	remaining float64 // bytes
+	rate      float64 // bits/ns (Gbps)
+	links     []int32
+}
+
+// FCT returns the completion time; valid when Done.
+func (f *Flow) FCT() sim.Time { return f.EndNs - f.StartNs }
+
+// Network is the flow-level simulation state.
+type Network struct {
+	Cfg  Config
+	Topo *topology.Topology
+
+	now       sim.Time
+	rng       *rand.Rand
+	serverTor []int32
+
+	// Directed links: 0..2E-1 inter-switch (pairs), then per-server up and
+	// down links. capacity in Gbps (== bits/ns).
+	capacity []float64
+	linkIdx  map[[2]int32]int32 // (u,v) switch pair -> link id
+	upLink   []int32
+	downLink []int32
+
+	// nextHops[u][dst] lists shortest-path next hops.
+	nextHops [][][]int32
+
+	flows   []*Flow
+	active  map[int32]*Flow
+	pending []arrival
+
+	// Recomputed allocation state.
+	dirty bool
+}
+
+type arrival struct {
+	at   sim.Time
+	src  int
+	dst  int
+	size int64
+}
+
+// NewNetwork builds the flow-level model of a topology.
+func NewNetwork(t *topology.Topology, cfg Config) *Network {
+	n := &Network{
+		Cfg:     cfg,
+		Topo:    t,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		linkIdx: make(map[[2]int32]int32),
+		active:  make(map[int32]*Flow),
+	}
+	for _, sw := range t.ServerSwitch() {
+		n.serverTor = append(n.serverTor, int32(sw))
+	}
+	for _, e := range t.G.Edges() {
+		c := float64(e.Mult) * cfg.LinkRateGbps
+		n.linkIdx[[2]int32{int32(e.U), int32(e.V)}] = int32(len(n.capacity))
+		n.capacity = append(n.capacity, c)
+		n.linkIdx[[2]int32{int32(e.V), int32(e.U)}] = int32(len(n.capacity))
+		n.capacity = append(n.capacity, c)
+	}
+	srvRate := cfg.ServerLinkRateGbps
+	if srvRate <= 0 {
+		srvRate = cfg.LinkRateGbps
+	}
+	for range n.serverTor {
+		n.upLink = append(n.upLink, int32(len(n.capacity)))
+		n.capacity = append(n.capacity, srvRate)
+		n.downLink = append(n.downLink, int32(len(n.capacity)))
+		n.capacity = append(n.capacity, srvRate)
+	}
+	n.nextHops = make([][][]int32, t.NumSwitches())
+	for dst := 0; dst < t.NumSwitches(); dst++ {
+		hops := t.G.ShortestPathDAGNextHops(dst)
+		for u := 0; u < t.NumSwitches(); u++ {
+			if n.nextHops[u] == nil {
+				n.nextHops[u] = make([][]int32, t.NumSwitches())
+			}
+			for _, v := range hops[u] {
+				n.nextHops[u][dst] = append(n.nextHops[u][dst], int32(v))
+			}
+		}
+	}
+	return n
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() sim.Time { return n.now }
+
+// Flows returns all flows started so far.
+func (n *Network) Flows() []*Flow { return n.flows }
+
+// samplePath walks a uniformly sampled shortest path from switch u to dst,
+// appending traversed link IDs.
+func (n *Network) samplePath(u, dst int32, links []int32) []int32 {
+	for u != dst {
+		choices := n.nextHops[u][dst]
+		if len(choices) == 0 {
+			panic(fmt.Sprintf("flowsim: no route %d -> %d", u, dst))
+		}
+		v := choices[n.rng.Intn(len(choices))]
+		links = append(links, n.linkIdx[[2]int32{u, v}])
+		u = v
+	}
+	return links
+}
+
+// assignPath routes a flow per the configured scheme.
+func (n *Network) assignPath(f *Flow) {
+	src := n.serverTor[f.SrcServer]
+	dst := n.serverTor[f.DstServer]
+	links := []int32{n.upLink[f.SrcServer]}
+	useVLB := n.Cfg.Routing == VLB ||
+		(n.Cfg.Routing == HYB && f.SizeBytes >= n.Cfg.HybridThresholdBytes)
+	if useVLB && src != dst {
+		var via int32
+		for {
+			via = int32(n.rng.Intn(n.Topo.NumSwitches()))
+			if via != src {
+				break
+			}
+		}
+		links = n.samplePath(src, via, links)
+		links = n.samplePath(via, dst, links)
+	} else {
+		links = n.samplePath(src, dst, links)
+	}
+	links = append(links, n.downLink[f.DstServer])
+	f.links = links
+}
+
+// ScheduleFlow queues a flow arrival at absolute time at.
+func (n *Network) ScheduleFlow(at sim.Time, src, dst int, size int64) {
+	if at < n.now {
+		at = n.now
+	}
+	n.pending = append(n.pending, arrival{at: at, src: src, dst: dst, size: size})
+	// Keep pending sorted by insertion-friendly sift (arrivals are usually
+	// appended in time order by the Poisson generator).
+	for i := len(n.pending) - 1; i > 0 && n.pending[i].at < n.pending[i-1].at; i-- {
+		n.pending[i], n.pending[i-1] = n.pending[i-1], n.pending[i]
+	}
+}
+
+func (n *Network) startFlow(a arrival) *Flow {
+	f := &Flow{
+		ID:        int32(len(n.flows)),
+		SrcServer: int32(a.src),
+		DstServer: int32(a.dst),
+		SizeBytes: a.size,
+		StartNs:   n.now,
+		remaining: float64(a.size),
+	}
+	n.flows = append(n.flows, f)
+	n.assignPath(f)
+	n.active[f.ID] = f
+	n.dirty = true
+	return f
+}
+
+// allocate computes exact max-min fair rates via progressive filling.
+func (n *Network) allocate() {
+	type linkState struct {
+		cap   float64
+		flows int
+	}
+	links := make([]linkState, len(n.capacity))
+	for i, c := range n.capacity {
+		links[i].cap = c // Gbps == bits/ns
+	}
+	// Iterate flows in ID order so floating-point update order (and hence
+	// the whole simulation) is deterministic.
+	ids := n.sortedActiveIDs()
+	for _, id := range ids {
+		f := n.active[id]
+		f.rate = -1
+		for _, l := range f.links {
+			links[l].flows++
+		}
+	}
+	unfrozen := len(ids)
+	for unfrozen > 0 {
+		// Find the bottleneck link: minimal fair share among links with
+		// unfrozen flows.
+		best := -1
+		bestShare := math.Inf(1)
+		for i := range links {
+			if links[i].flows == 0 {
+				continue
+			}
+			share := links[i].cap / float64(links[i].flows)
+			if share < bestShare {
+				bestShare = share
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck.
+		for _, id := range ids {
+			f := n.active[id]
+			if f.rate >= 0 {
+				continue
+			}
+			crosses := false
+			for _, l := range f.links {
+				if int(l) == best {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = bestShare
+			unfrozen--
+			for _, l := range f.links {
+				links[l].cap -= bestShare
+				links[l].flows--
+				if links[l].cap < 0 {
+					links[l].cap = 0
+				}
+			}
+		}
+	}
+	n.dirty = false
+}
+
+// Run advances the simulation to the given horizon.
+func (n *Network) Run(until sim.Time) {
+	for n.now < until {
+		if n.dirty {
+			n.allocate()
+		}
+		// Next departure (ID order for deterministic tie-breaking).
+		nextEvent := until
+		var completing *Flow
+		for _, id := range n.sortedActiveIDs() {
+			f := n.active[id]
+			if f.rate <= 0 {
+				continue
+			}
+			// remaining bytes at rate bits/ns -> ns
+			dt := sim.Time(f.remaining * 8 / f.rate)
+			if dt < 1 {
+				dt = 1
+			}
+			if n.now+dt < nextEvent {
+				nextEvent = n.now + dt
+				completing = f
+			}
+		}
+		// Next arrival.
+		arrivalNext := false
+		if len(n.pending) > 0 && n.pending[0].at <= nextEvent {
+			nextEvent = n.pending[0].at
+			arrivalNext = true
+			completing = nil
+		}
+		if nextEvent > until {
+			nextEvent = until
+			completing = nil
+			arrivalNext = false
+		}
+		// Integrate progress over [now, nextEvent).
+		dt := float64(nextEvent - n.now)
+		for _, f := range n.active {
+			if f.rate > 0 {
+				f.remaining -= f.rate * dt / 8 // order-independent per flow
+			}
+		}
+		n.now = nextEvent
+		switch {
+		case completing != nil:
+			completing.remaining = 0
+			completing.Done = true
+			completing.EndNs = n.now
+			delete(n.active, completing.ID)
+			n.dirty = true
+			// Sweep any other flows that finished simultaneously.
+			for id, f := range n.active {
+				if f.remaining <= 1e-6 {
+					f.Done = true
+					f.EndNs = n.now
+					delete(n.active, id)
+				}
+			}
+		case arrivalNext:
+			a := n.pending[0]
+			n.pending = n.pending[1:]
+			n.startFlow(a)
+		default:
+			return // horizon reached
+		}
+	}
+}
+
+// ActiveFlows returns the number of currently active flows.
+func (n *Network) ActiveFlows() int { return len(n.active) }
+
+// sortedActiveIDs returns the active flow IDs in ascending order.
+func (n *Network) sortedActiveIDs() []int32 {
+	ids := make([]int32, 0, len(n.active))
+	for id := range n.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

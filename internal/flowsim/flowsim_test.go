@@ -1,0 +1,250 @@
+package flowsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"beyondft/internal/graph"
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+)
+
+func pairTopo(servers int) *topology.Topology {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	sv := []int{servers, servers}
+	return &topology.Topology{Name: "pair", G: g, Servers: sv, SwitchPorts: servers + 1}
+}
+
+func TestSingleFlowIdealFCT(t *testing.T) {
+	n := NewNetwork(pairTopo(2), DefaultConfig())
+	n.ScheduleFlow(0, 0, 2, 10_000_000)
+	n.Run(sim.Second)
+	f := n.Flows()[0]
+	if !f.Done {
+		t.Fatalf("flow incomplete")
+	}
+	// Exactly size*8/rate at flow level: 10MB at 10G = 8 ms.
+	want := 8 * sim.Millisecond
+	if d := f.FCT() - want; d < -sim.Time(1000) || d > sim.Time(1000) {
+		t.Fatalf("FCT = %v, want %v (±1µs)", f.FCT(), want)
+	}
+}
+
+func TestTwoFlowsShareExactlyHalf(t *testing.T) {
+	n := NewNetwork(pairTopo(2), DefaultConfig())
+	n.ScheduleFlow(0, 0, 2, 10_000_000)
+	n.ScheduleFlow(0, 1, 3, 10_000_000)
+	n.Run(sim.Second)
+	for _, f := range n.Flows() {
+		if !f.Done {
+			t.Fatalf("flow incomplete")
+		}
+		// Two equal flows over one 10G link: both finish at 16 ms.
+		want := 16 * sim.Millisecond
+		if d := f.FCT() - want; d < -sim.Time(2000) || d > sim.Time(2000) {
+			t.Fatalf("FCT = %v, want %v", f.FCT(), want)
+		}
+	}
+}
+
+func TestMaxMinNotJustEqualSplit(t *testing.T) {
+	// Three flows: A and B share the inter-switch link; C is intra-rack...
+	// flowsim requires distinct racks, so instead: A long flow and B short
+	// flow share the link; when B finishes, A speeds up. Total time for A:
+	// first 2x the short flow's span at 5G, then the rest at 10G.
+	n := NewNetwork(pairTopo(2), DefaultConfig())
+	n.ScheduleFlow(0, 0, 2, 10_000_000) // A: 10 MB
+	n.ScheduleFlow(0, 1, 3, 2_500_000)  // B: 2.5 MB
+	n.Run(sim.Second)
+	a, b := n.Flows()[0], n.Flows()[1]
+	// B at 5G: 4 ms. A: 2.5MB done by then, remaining 7.5MB at 10G = 6 ms,
+	// total 10 ms.
+	if d := b.FCT() - 4*sim.Millisecond; d < -sim.Time(2000) || d > sim.Time(2000) {
+		t.Fatalf("B FCT = %v, want 4ms", b.FCT())
+	}
+	if d := a.FCT() - 10*sim.Millisecond; d < -sim.Time(3000) || d > sim.Time(3000) {
+		t.Fatalf("A FCT = %v, want 10ms (speedup after B departs)", a.FCT())
+	}
+}
+
+func TestServerNICBottleneck(t *testing.T) {
+	// Two flows FROM the same server: its uplink (10G) is the bottleneck
+	// even though the fabric has spare capacity.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	topo := &topology.Topology{Name: "star", G: g, Servers: []int{2, 2, 2}, SwitchPorts: 4}
+	n := NewNetwork(topo, DefaultConfig())
+	n.ScheduleFlow(0, 0, 2, 5_000_000) // server 0 -> rack 1
+	n.ScheduleFlow(0, 0, 4, 5_000_000) // server 0 -> rack 2
+	n.Run(sim.Second)
+	for _, f := range n.Flows() {
+		want := 8 * sim.Millisecond // 5MB at 5G each
+		if d := f.FCT() - want; d < -sim.Time(2000) || d > sim.Time(2000) {
+			t.Fatalf("FCT = %v, want %v (NIC-limited)", f.FCT(), want)
+		}
+	}
+}
+
+func TestVLBUsesVia(t *testing.T) {
+	// Ring of 4: ECMP between adjacent racks uses 3 links (up, direct,
+	// down); VLB flows traverse more.
+	ringT := func() *topology.Topology {
+		g := graph.New(4)
+		for i := 0; i < 4; i++ {
+			g.AddEdge(i, (i+1)%4)
+		}
+		return &topology.Topology{Name: "ring4", G: g,
+			Servers: []int{1, 1, 1, 1}, SwitchPorts: 3}
+	}
+	cfgE := DefaultConfig()
+	nE := NewNetwork(ringT(), cfgE)
+	nE.ScheduleFlow(0, 0, 1, 1000)
+	nE.Run(sim.Second)
+	cfgV := DefaultConfig()
+	cfgV.Routing = VLB
+	cfgV.Seed = 5
+	nV := NewNetwork(ringT(), cfgV)
+	nV.ScheduleFlow(0, 0, 1, 1000)
+	nV.Run(sim.Second)
+	le := len(nE.Flows()[0].links)
+	lv := len(nV.Flows()[0].links)
+	if le != 3 {
+		t.Fatalf("ECMP path uses %d links, want 3", le)
+	}
+	if lv < le {
+		t.Fatalf("VLB path (%d links) should not be shorter than ECMP (%d)", lv, le)
+	}
+}
+
+func TestHYBThresholdSplitsBySize(t *testing.T) {
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, (i+1)%4)
+	}
+	topo := &topology.Topology{Name: "ring4", G: g, Servers: []int{1, 1, 1, 1}, SwitchPorts: 3}
+	cfg := DefaultConfig()
+	cfg.Routing = HYB
+	cfg.Seed = 7
+	n := NewNetwork(topo, cfg)
+	n.ScheduleFlow(0, 0, 1, 50_000)    // short: ECMP (3 links on adjacent racks)
+	n.ScheduleFlow(0, 0, 1, 5_000_000) // long: VLB
+	n.Run(sim.Second)
+	short, long := n.Flows()[0], n.Flows()[1]
+	if len(short.links) != 3 {
+		t.Fatalf("short flow should take the direct path, got %d links", len(short.links))
+	}
+	// The long flow bounces off a via unless the random via equals the
+	// destination; with seed 7 it detours.
+	if len(long.links) <= 3 {
+		t.Fatalf("long flow should take a VLB detour, got %d links", len(long.links))
+	}
+}
+
+func TestPoissonWorkloadThroughput(t *testing.T) {
+	// A loaded pair of racks: aggregate completion throughput approaches
+	// link capacity under sustained load.
+	n := NewNetwork(pairTopo(4), DefaultConfig())
+	rng := rand.New(rand.NewSource(3))
+	at := sim.Time(0)
+	totalBytes := int64(0)
+	for i := 0; i < 200; i++ {
+		at += sim.Time(rng.ExpFloat64() * float64(100*sim.Microsecond))
+		size := int64(500_000 + rng.Intn(1_000_000))
+		src := rng.Intn(4)
+		dst := 4 + rng.Intn(4)
+		n.ScheduleFlow(at, src, dst, size)
+		totalBytes += size
+	}
+	n.Run(10 * sim.Second)
+	var last sim.Time
+	for _, f := range n.Flows() {
+		if !f.Done {
+			t.Fatalf("flow incomplete")
+		}
+		if f.EndNs > last {
+			last = f.EndNs
+		}
+	}
+	gbps := float64(totalBytes) * 8 / float64(last)
+	// One 10G inter-switch link is the bottleneck; offered load is ~2x it.
+	if gbps < 8 || gbps > 10.01 {
+		t.Fatalf("sustained throughput %.2f Gbps, want ~10 (link-limited)", gbps)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() []sim.Time {
+		n := NewNetwork(pairTopo(4), DefaultConfig())
+		rng := rand.New(rand.NewSource(9))
+		at := sim.Time(0)
+		for i := 0; i < 100; i++ {
+			at += sim.Time(rng.ExpFloat64() * float64(50*sim.Microsecond))
+			n.ScheduleFlow(at, rng.Intn(4), 4+rng.Intn(4), int64(10_000+rng.Intn(2_000_000)))
+		}
+		n.Run(10 * sim.Second)
+		var out []sim.Time
+		for _, f := range n.Flows() {
+			out = append(out, f.EndNs)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at flow %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAgreesWithPacketSimOnSimpleScenario(t *testing.T) {
+	// Cross-validation anchor: flow-level FCT must be a (tight) lower bound
+	// on packet-level FCT for a solo bulk flow, within ~25% (transport
+	// overheads: slow start, header bytes, ACK path).
+	// The packet-level figure comes from netsim's TestSingleFlowCompletesAtLineRate
+	// invariants; here we just assert the flow-level ideal.
+	n := NewNetwork(pairTopo(2), DefaultConfig())
+	n.ScheduleFlow(0, 0, 2, 10_000_000)
+	n.Run(sim.Second)
+	ideal := float64(10_000_000*8) / 10.0 // ns
+	got := float64(n.Flows()[0].FCT())
+	if math.Abs(got-ideal)/ideal > 0.001 {
+		t.Fatalf("flow-level FCT %.0f deviates from ideal %.0f", got, ideal)
+	}
+}
+
+func TestPaperScaleFatTreeIsTractable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale flow-level run")
+	}
+	// The point of flowsim: a k=16 fat-tree (1024 servers) at a §6.4-style
+	// arrival rate, simulated for 50 ms of traffic, completes in seconds.
+	ft := topology.NewFatTree(16)
+	cfg := DefaultConfig()
+	n := NewNetwork(&ft.Topology, cfg)
+	rng := rand.New(rand.NewSource(11))
+	at := sim.Time(0)
+	flows := 0
+	for at < 50*sim.Millisecond {
+		at += sim.Time(rng.ExpFloat64() * float64(sim.Second) / 20000) // 20K flows/s
+		src := rng.Intn(1024)
+		dst := rng.Intn(1024)
+		if src/8 == dst/8 { // skip intra-rack
+			continue
+		}
+		n.ScheduleFlow(at, src, dst, int64(10_000+rng.Intn(3_000_000)))
+		flows++
+	}
+	n.Run(2 * sim.Second)
+	done := 0
+	for _, f := range n.Flows() {
+		if f.Done {
+			done++
+		}
+	}
+	if done < flows*99/100 {
+		t.Fatalf("only %d of %d flows completed", done, flows)
+	}
+}

@@ -1,0 +1,71 @@
+package fluid
+
+import (
+	"math"
+
+	"beyondft/internal/graph"
+	"beyondft/internal/tm"
+)
+
+// Throughput computes the per-server throughput (clamped to line rate) of a
+// static topology graph under a rack-level TM using the GK FPTAS. Demands
+// must be in server-line-rate units (as tm generators produce).
+func Throughput(g *graph.Graph, m *tm.TM, opt GKOptions) float64 {
+	nw := NewNetwork(g, 1.0)
+	res := MaxConcurrentFlow(nw, Commodities(m), opt)
+	return math.Min(1, res.Throughput)
+}
+
+// ThroughputExact is the exact-LP variant of Throughput for small instances.
+func ThroughputExact(g *graph.Graph, m *tm.TM) (float64, error) {
+	nw := NewNetwork(g, 1.0)
+	t, err := MaxConcurrentFlowExact(nw, Commodities(m))
+	if err != nil {
+		return 0, err
+	}
+	return math.Min(1, t), nil
+}
+
+// UnrestrictedDynamic returns the per-server throughput of the idealized
+// unrestricted dynamic-topology model of §4/§5: with r flexible network
+// ports and s server ports per ToR and no reconfiguration or buffering
+// penalty, a ToR can always deliver r units while producing at most s, so
+// throughput is min(1, r/s) regardless of how many ToRs participate.
+func UnrestrictedDynamic(networkPorts, serverPorts float64) float64 {
+	if serverPorts <= 0 {
+		return 1
+	}
+	return math.Min(1, networkPorts/serverPorts)
+}
+
+// RestrictedDynamic returns the per-server throughput upper bound of the
+// restricted dynamic model (§4.1, §5): the topology prioritizes direct
+// connections and has no buffering, so all concurrent flows must be carried
+// by SOME static topology of degree r over the active ToRs; any such
+// topology is Moore-bounded.
+func RestrictedDynamic(activeToRs int, networkPorts int, serverPorts float64) float64 {
+	return graph.MooreThroughputUpperBound(activeToRs, networkPorts, serverPorts)
+}
+
+// ThroughputProportional returns the TP benchmark curve value min(α/x, 1):
+// a network built at worst-case throughput α would, if perfectly flexible,
+// deliver α/x per server when only an x fraction of servers participate.
+func ThroughputProportional(alpha, x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Min(1, alpha/x)
+}
+
+// FatTreeCurve models the oversubscribed fat-tree line of Fig. 2: an x
+// fraction of servers (in the adversarial pod-to-pod placement of
+// Observation 1) obtains only the oversubscription fraction α until fewer
+// than β = 2/k of the servers participate, below which throughput rises
+// proportionally.
+func FatTreeCurve(alpha float64, k int, x float64) float64 {
+	beta := 2.0 / float64(k)
+	if x >= beta {
+		return alpha
+	}
+	return math.Min(1, alpha*beta/x)
+}

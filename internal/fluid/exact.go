@@ -1,0 +1,66 @@
+package fluid
+
+import (
+	"fmt"
+
+	"beyondft/internal/lp"
+)
+
+// MaxConcurrentFlowExact solves the maximum concurrent flow exactly via the
+// arc-flow LP (one flow variable per commodity per arc plus the throughput
+// variable t). Intended for small instances — tests, the §4.1 toy example,
+// and FPTAS validation; variable count is len(comms)·len(arcs)+1.
+func MaxConcurrentFlowExact(nw *Network, comms []Commodity) (float64, error) {
+	live := comms[:0:0]
+	for _, c := range comms {
+		if c.Demand > 0 && c.Src != c.Dst {
+			live = append(live, c)
+		}
+	}
+	k := len(live)
+	if k == 0 {
+		return 0, fmt.Errorf("fluid: no commodities")
+	}
+	m := len(nw.Arcs)
+	nvars := k*m + 1
+	tVar := k * m
+	xv := func(j, a int) int { return j*m + a }
+
+	p := lp.New(nvars)
+	p.Maximize(tVar, 1)
+
+	// Arc capacity: Σ_j x_{j,a} ≤ cap_a.
+	for a := 0; a < m; a++ {
+		row := make([]float64, nvars)
+		for j := 0; j < k; j++ {
+			row[xv(j, a)] = 1
+		}
+		p.AddConstraint(row, lp.LE, nw.Arcs[a].Cap)
+	}
+	// Flow conservation per commodity and node.
+	for j, c := range live {
+		for v := 0; v < nw.N; v++ {
+			if v == c.Dst {
+				continue // implied by the others
+			}
+			row := make([]float64, nvars)
+			for _, ai := range nw.Out[v] {
+				row[xv(j, ai)] += 1 // outgoing
+			}
+			for a := 0; a < m; a++ {
+				if nw.Arcs[a].To == v {
+					row[xv(j, a)] -= 1 // incoming
+				}
+			}
+			if v == c.Src {
+				row[tVar] = -c.Demand // net out = d_j · t
+			}
+			p.AddConstraint(row, lp.EQ, 0)
+		}
+	}
+	obj, _, err := p.Solve()
+	if err != nil {
+		return 0, fmt.Errorf("fluid: exact LP: %w", err)
+	}
+	return obj, nil
+}

@@ -1,0 +1,77 @@
+// Package fluid implements the paper's fluid-flow throughput model (§2, §5):
+// maximum concurrent flow over a switch-level topology under a rack-level
+// traffic matrix, the throughput-proportionality benchmark, and the
+// unrestricted/restricted dynamic-topology models of §4.
+//
+// Two solvers are provided: an exact LP formulation (internal/lp, for small
+// instances and tests) and the Garg–Könemann/Fleischer FPTAS for paper-scale
+// instances. Both return "throughput per server": the largest t such that
+// every demand can be concurrently satisfied at t times its amount, with
+// amounts expressed in server line rates.
+package fluid
+
+import (
+	"beyondft/internal/graph"
+	"beyondft/internal/tm"
+)
+
+// Arc is a directed capacity-carrying link between switches.
+type Arc struct {
+	From, To int
+	Cap      float64
+}
+
+// Network is the arc-level view of a topology used by the flow solvers.
+type Network struct {
+	N    int
+	Arcs []Arc
+	// Out[v] lists arc indices leaving v.
+	Out [][]int
+}
+
+// NewNetwork expands an undirected multigraph into a directed arc network:
+// each distinct undirected edge of multiplicity μ becomes two arcs of
+// capacity μ·linkCap.
+func NewNetwork(g *graph.Graph, linkCap float64) *Network {
+	nw := &Network{N: g.N(), Out: make([][]int, g.N())}
+	for _, e := range g.Edges() {
+		c := float64(e.Mult) * linkCap
+		nw.addArc(e.U, e.V, c)
+		nw.addArc(e.V, e.U, c)
+	}
+	return nw
+}
+
+func (nw *Network) addArc(u, v int, c float64) {
+	nw.Out[u] = append(nw.Out[u], len(nw.Arcs))
+	nw.Arcs = append(nw.Arcs, Arc{From: u, To: v, Cap: c})
+}
+
+// Commodity is a demand routed by the solvers.
+type Commodity struct {
+	Src, Dst int
+	Demand   float64
+}
+
+// Commodities converts a rack-level TM into solver commodities, merging
+// duplicate (src,dst) pairs and dropping zero demands.
+func Commodities(m *tm.TM) []Commodity {
+	type key struct{ s, d int }
+	agg := map[key]float64{}
+	var order []key
+	for _, d := range m.Demands {
+		if d.Amount <= 0 || d.Src == d.Dst {
+			continue
+		}
+		k := key{d.Src, d.Dst}
+		if _, ok := agg[k]; !ok {
+			order = append(order, k)
+		}
+		agg[k] += d.Amount
+	}
+	out := make([]Commodity, 0, len(order))
+	for _, k := range order {
+		out = append(out, Commodity{Src: k.s, Dst: k.d, Demand: agg[k]})
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package fluid
+
+import "math"
+
+// GKOptions tunes the Garg–Könemann/Fleischer max-concurrent-flow FPTAS.
+type GKOptions struct {
+	// Epsilon is the approximation parameter: the returned throughput is at
+	// least (1−O(ε)) of optimal. Default 0.08.
+	Epsilon float64
+	// MaxPhases caps the number of phases as a safety valve. Default 1e6.
+	MaxPhases int
+}
+
+// GKResult reports the solve outcome.
+type GKResult struct {
+	// Throughput is the certified feasible concurrent-flow fraction: every
+	// commodity can simultaneously carry Throughput × its demand.
+	Throughput float64
+	// UpperBound is the best dual bound observed; OPT ≤ UpperBound.
+	UpperBound float64
+	Phases     int
+}
+
+// MaxConcurrentFlow approximates the maximum concurrent flow for the given
+// commodities, i.e. the paper's "throughput per server" when demands are in
+// server line-rate units.
+func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
+	eps := opt.Epsilon
+	if eps <= 0 {
+		eps = 0.08
+	}
+	maxPhases := opt.MaxPhases
+	if maxPhases <= 0 {
+		maxPhases = 1 << 20
+	}
+	live := comms[:0:0]
+	for _, c := range comms {
+		if c.Demand > 0 && c.Src != c.Dst {
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		return GKResult{Throughput: math.Inf(1), UpperBound: math.Inf(1)}
+	}
+
+	m := len(nw.Arcs)
+	if m == 0 {
+		return GKResult{}
+	}
+	delta := math.Pow(float64(m)/(1-eps), -1/eps)
+	length := make([]float64, m)
+	for i, a := range nw.Arcs {
+		length[i] = delta / a.Cap
+	}
+	flow := make([]float64, m)           // total flow per arc (all commodities)
+	routed := make([]float64, len(live)) // total routed per commodity
+
+	dualBound := math.Inf(1)
+	dl := func() float64 {
+		s := 0.0
+		for i, a := range nw.Arcs {
+			s += a.Cap * length[i]
+		}
+		return s
+	}
+
+	sp := newSPState(nw)
+	parent := make([]int32, nw.N)
+	phases := 0
+	for dl() < 1 && phases < maxPhases {
+		phases++
+		// Dual bound for this phase: D(l) / Σ_j d_j·dist_l(j), grouped by src.
+		distCache := map[int][]float64{}
+		z := 0.0
+		for _, c := range live {
+			d, ok := distCache[c.Src]
+			if !ok {
+				d = append([]float64(nil), sp.dijkstra(c.Src, length, nil)...)
+				distCache[c.Src] = d
+			}
+			z += c.Demand * d[c.Dst]
+		}
+		if z > 0 {
+			if b := dl() / z; b < dualBound {
+				dualBound = b
+			}
+		}
+		// Early exit once the certified primal is within ε of the dual bound.
+		if phases%8 == 0 {
+			if p := primalValue(nw, live, flow, routed); p >= (1-eps)*dualBound {
+				break
+			}
+		}
+		// Route each commodity's full demand this phase.
+		for j, c := range live {
+			remaining := c.Demand
+			for remaining > 1e-15 {
+				d := sp.dijkstra(c.Src, length, parent)
+				if math.IsInf(d[c.Dst], 1) {
+					return GKResult{Throughput: 0, UpperBound: 0, Phases: phases}
+				}
+				// Bottleneck along the path.
+				bottleneck := math.Inf(1)
+				for v := c.Dst; v != c.Src; {
+					ai := int(parent[v])
+					if nw.Arcs[ai].Cap < bottleneck {
+						bottleneck = nw.Arcs[ai].Cap
+					}
+					v = nw.Arcs[ai].From
+				}
+				f := remaining
+				if bottleneck < f {
+					f = bottleneck
+				}
+				for v := c.Dst; v != c.Src; {
+					ai := int(parent[v])
+					flow[ai] += f
+					length[ai] *= 1 + eps*f/nw.Arcs[ai].Cap
+					v = nw.Arcs[ai].From
+				}
+				routed[j] += f
+				remaining -= f
+			}
+		}
+	}
+
+	thr := primalValue(nw, live, flow, routed)
+	if thr > dualBound {
+		thr = dualBound // numerical safety: primal cannot beat the dual bound
+	}
+	return GKResult{Throughput: thr, UpperBound: dualBound, Phases: phases}
+}
+
+// primalValue returns the certified feasible concurrent-flow fraction for
+// the accumulated (possibly capacity-violating) flow: scale flows uniformly
+// so the most-loaded arc is exactly at capacity, then take the minimum over
+// commodities of scaled-routed/demand.
+func primalValue(nw *Network, live []Commodity, flow, routed []float64) float64 {
+	over := 0.0
+	for i, a := range nw.Arcs {
+		if u := flow[i] / a.Cap; u > over {
+			over = u
+		}
+	}
+	thr := math.Inf(1)
+	for j, c := range live {
+		frac := routed[j] / c.Demand
+		if over > 0 {
+			frac /= over
+		}
+		if frac < thr {
+			thr = frac
+		}
+	}
+	if math.IsInf(thr, 1) || math.IsNaN(thr) {
+		return 0
+	}
+	return thr
+}
+
+// spState holds reusable Dijkstra buffers for arc-length shortest paths.
+type spState struct {
+	nw   *Network
+	dist []float64
+	done []bool
+	heap spHeap
+}
+
+func newSPState(nw *Network) *spState {
+	return &spState{
+		nw:   nw,
+		dist: make([]float64, nw.N),
+		done: make([]bool, nw.N),
+		heap: make(spHeap, 0, nw.N),
+	}
+}
+
+type spItem struct {
+	node int32
+	d    float64
+}
+
+// spHeap is a hand-rolled binary min-heap (container/heap would box every
+// spItem through interface{}, allocating on each push).
+type spHeap []spItem
+
+func (h *spHeap) push(it spItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].d <= s[i].d {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *spHeap) pop() spItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(s) {
+			break
+		}
+		m := l
+		if r := l + 1; r < len(s) && s[r].d < s[l].d {
+			m = r
+		}
+		if s[i].d <= s[m].d {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+// dijkstra computes arc-length shortest paths from src into the shared
+// s.dist buffer (valid until the next call; callers that cache must copy).
+// If parent is non-nil, parent[v] is set to the arc index entering v on a
+// shortest path (−1 at src/unreachable).
+func (s *spState) dijkstra(src int, length []float64, parent []int32) []float64 {
+	nw := s.nw
+	dist := s.dist
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		s.done[i] = false
+		if parent != nil {
+			parent[i] = -1
+		}
+	}
+	dist[src] = 0
+	h := &s.heap
+	*h = (*h)[:0]
+	h.push(spItem{node: int32(src), d: 0})
+	for len(*h) > 0 {
+		it := h.pop()
+		u := int(it.node)
+		if s.done[u] {
+			continue
+		}
+		s.done[u] = true
+		for _, ai := range nw.Out[u] {
+			a := nw.Arcs[ai]
+			if s.done[a.To] {
+				continue
+			}
+			nd := dist[u] + length[ai]
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				if parent != nil {
+					parent[a.To] = int32(ai)
+				}
+				h.push(spItem{node: int32(a.To), d: nd})
+			}
+		}
+	}
+	return dist
+}

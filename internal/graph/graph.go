@@ -1,0 +1,178 @@
+// Package graph provides the core graph data structure and algorithms used
+// by the topology generators and the fluid-flow throughput engine: shortest
+// paths (BFS and Dijkstra), Yen's k-shortest paths, spectral-gap estimation,
+// matching heuristics, and Moore-bound path-length lower bounds.
+//
+// Graphs here model switch-level network topologies: undirected, simple
+// (no self-loops; parallel edges are modelled as integer edge multiplicity,
+// which corresponds to trunked links between a switch pair).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected multigraph on nodes 0..N-1. Edge multiplicity m
+// between a node pair models m parallel unit-capacity cables.
+type Graph struct {
+	n   int
+	adj []map[int]int // adj[u][v] = multiplicity
+	m   int           // total edge count (counting multiplicity)
+}
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	adj := make([]map[int]int, n)
+	for i := range adj {
+		adj[i] = make(map[int]int)
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges, counting multiplicity.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge adds one undirected edge between u and v. Parallel edges
+// accumulate multiplicity. Self-loops are rejected.
+func (g *Graph) AddEdge(u, v int) {
+	g.AddEdgeMulti(u, v, 1)
+}
+
+// AddEdgeMulti adds an undirected edge with the given multiplicity.
+func (g *Graph) AddEdgeMulti(u, v, mult int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if mult <= 0 {
+		panic("graph: non-positive multiplicity")
+	}
+	g.adj[u][v] += mult
+	g.adj[v][u] += mult
+	g.m += mult
+}
+
+// RemoveEdge removes one unit of multiplicity from edge (u,v).
+// It reports whether an edge existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if g.adj[u][v] == 0 {
+		return false
+	}
+	g.adj[u][v]--
+	g.adj[v][u]--
+	if g.adj[u][v] == 0 {
+		delete(g.adj[u], v)
+		delete(g.adj[v], u)
+	}
+	g.m--
+	return true
+}
+
+// HasEdge reports whether at least one edge connects u and v.
+func (g *Graph) HasEdge(u, v int) bool { return g.adj[u][v] > 0 }
+
+// Multiplicity returns the number of parallel edges between u and v.
+func (g *Graph) Multiplicity(u, v int) int { return g.adj[u][v] }
+
+// Degree returns the degree of u, counting multiplicity.
+func (g *Graph) Degree(u int) int {
+	d := 0
+	for _, mult := range g.adj[u] {
+		d += mult
+	}
+	return d
+}
+
+// Neighbors returns the distinct neighbors of u in ascending order.
+func (g *Graph) Neighbors(u int) []int {
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edge is an undirected edge with multiplicity.
+type Edge struct {
+	U, V int // U < V
+	Mult int
+}
+
+// Edges returns all distinct undirected edges (U < V) in deterministic order.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for u := 0; u < g.n; u++ {
+		ns := g.Neighbors(u)
+		for _, v := range ns {
+			if v > u {
+				out = append(out, Edge{U: u, V: v, Mult: g.adj[u][v]})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v, mult := range g.adj[u] {
+			if v > u {
+				c.AddEdgeMulti(u, v, mult)
+			}
+		}
+	}
+	return c
+}
+
+// IsRegular reports whether every node has the same degree, and that degree.
+func (g *Graph) IsRegular() (int, bool) {
+	if g.n == 0 {
+		return 0, true
+	}
+	d := g.Degree(0)
+	for u := 1; u < g.n; u++ {
+		if g.Degree(u) != d {
+			return 0, false
+		}
+	}
+	return d, true
+}
+
+// Connected reports whether the graph is connected (vacuously true for n<=1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.n, g.m)
+}

@@ -1,0 +1,93 @@
+package graph
+
+import "sort"
+
+// MaxWeightMatching computes a heavy perfect-or-near-perfect matching on the
+// node subset `nodes` with pairwise weights w (symmetric). It is the
+// heuristic the longest-matching traffic matrices of Jyothi et al. call for:
+// greedy seeding by descending weight followed by 2-opt pair-swap local
+// search. Returns pairs (a,b) with a < b; if len(nodes) is odd one node is
+// left unmatched.
+func MaxWeightMatching(nodes []int, w func(a, b int) float64) [][2]int {
+	n := len(nodes)
+	if n < 2 {
+		return nil
+	}
+	type cand struct {
+		a, b int // indices into nodes
+		w    float64
+	}
+	cands := make([]cand, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cands = append(cands, cand{a: i, b: j, w: w(nodes[i], nodes[j])})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w != cands[j].w {
+			return cands[i].w > cands[j].w
+		}
+		if cands[i].a != cands[j].a {
+			return cands[i].a < cands[j].a
+		}
+		return cands[i].b < cands[j].b
+	})
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	for _, c := range cands {
+		if mate[c.a] == -1 && mate[c.b] == -1 {
+			mate[c.a] = c.b
+			mate[c.b] = c.a
+		}
+	}
+
+	// 2-opt: for matched pairs (a,b) and (c,d), try (a,c)+(b,d) and
+	// (a,d)+(b,c); keep the best. Iterate to a local optimum.
+	wi := func(i, j int) float64 { return w(nodes[i], nodes[j]) }
+	improved := true
+	for iter := 0; improved && iter < 50; iter++ {
+		improved = false
+		for a := 0; a < n; a++ {
+			b := mate[a]
+			if b < a {
+				continue // unmatched or already seen as (b,a)
+			}
+			for c := a + 1; c < n; c++ {
+				d := mate[c]
+				if d < c || c == b {
+					continue
+				}
+				cur := wi(a, b) + wi(c, d)
+				sw1 := wi(a, c) + wi(b, d)
+				sw2 := wi(a, d) + wi(b, c)
+				if sw1 > cur && sw1 >= sw2 {
+					mate[a], mate[c] = c, a
+					mate[b], mate[d] = d, b
+					b = mate[a]
+					improved = true
+				} else if sw2 > cur {
+					mate[a], mate[d] = d, a
+					mate[b], mate[c] = c, b
+					b = mate[a]
+					improved = true
+				}
+			}
+		}
+	}
+
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		j := mate[i]
+		if j > i {
+			u, v := nodes[i], nodes[j]
+			if u > v {
+				u, v = v, u
+			}
+			out = append(out, [2]int{u, v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,70 @@
+package graph
+
+// MooreAvgPathLowerBound returns a lower bound on the mean shortest-path
+// length (over ordered pairs) of ANY d-regular graph on n nodes, following
+// the Moore-bound argument of Singla et al., "High Throughput Data Center
+// Topology Design" (NSDI'14): from any node, at most d·(d−1)^(j−1) nodes can
+// sit at distance j, so the distance distribution that fills shells greedily
+// minimizes the mean.
+//
+// For n=9, d=6 this yields 1.25 hops, i.e. the 80%-of-full-throughput cap
+// quoted for the toy example in §4.1 of Kassing et al.
+func MooreAvgPathLowerBound(n, d int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	if d <= 0 {
+		return 0 // degenerate: no edges; callers must treat as disconnected
+	}
+	remaining := n - 1
+	total := 0.0
+	shell := d // nodes reachable at distance 1
+	dist := 1
+	for remaining > 0 {
+		take := shell
+		if take > remaining {
+			take = remaining
+		}
+		total += float64(dist * take)
+		remaining -= take
+		if d == 1 {
+			// A 1-regular graph is a perfect matching: only 1 node reachable.
+			break
+		}
+		shell *= d - 1
+		dist++
+		if dist > n { // safety: cannot need more than n hops
+			break
+		}
+	}
+	return total / float64(n-1)
+}
+
+// MooreThroughputUpperBound returns an upper bound on the uniform per-server
+// throughput (fraction of line rate) achievable by ANY static topology built
+// from n ToRs each having r network ports and s servers, when every server is
+// active (all-to-all-like demand): the network can carry at most n·r units of
+// flow·hops per unit time, and serving throughput t to n·s servers consumes
+// at least t·n·s·d̄ of it, where d̄ ≥ MooreAvgPathLowerBound(n, r).
+//
+// This is how the restricted dynamic-topology model of §4/§5 is bounded.
+func MooreThroughputUpperBound(n, r int, s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	if n <= 1 {
+		return 1
+	}
+	if r <= 0 {
+		return 0
+	}
+	davg := MooreAvgPathLowerBound(n, r)
+	if davg <= 0 {
+		return 1
+	}
+	t := float64(r) / (s * davg)
+	if t > 1 {
+		t = 1
+	}
+	return t
+}

@@ -1,0 +1,119 @@
+package graph
+
+import "sort"
+
+// KShortestPaths returns up to k loopless shortest paths (by hop count,
+// ties broken lexicographically) from src to dst using Yen's algorithm.
+// Each path is a node sequence starting at src and ending at dst.
+func (g *Graph) KShortestPaths(src, dst, k int) [][]int {
+	if k <= 0 {
+		return nil
+	}
+	unit := func(u, v int) float64 { return 1 }
+	_, parent := g.Dijkstra(src, unit)
+	first := PathTo(parent, src, dst)
+	if first == nil {
+		return nil
+	}
+	paths := [][]int{first}
+	var candidates [][]int
+
+	pathKey := func(p []int) string {
+		b := make([]byte, 0, len(p)*3)
+		for _, v := range p {
+			b = append(b, byte(v), byte(v>>8), byte(v>>16))
+		}
+		return string(b)
+	}
+	seen := map[string]bool{pathKey(first): true}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for i := 0; i < len(prev)-1; i++ {
+			spurNode := prev[i]
+			rootPath := prev[:i+1]
+
+			// Temporarily remove edges that would recreate an already-found
+			// path sharing this root, and nodes on the root path (except the
+			// spur node) to keep paths loopless.
+			removed := make([]Edge, 0, len(paths))
+			for _, p := range paths {
+				if len(p) > i+1 && eqPrefix(p, rootPath) {
+					if g.HasEdge(p[i], p[i+1]) {
+						mult := g.Multiplicity(p[i], p[i+1])
+						for j := 0; j < mult; j++ {
+							g.RemoveEdge(p[i], p[i+1])
+						}
+						removed = append(removed, Edge{U: p[i], V: p[i+1], Mult: mult})
+					}
+				}
+			}
+			var removedNodeEdges []Edge
+			for _, u := range rootPath[:len(rootPath)-1] {
+				for _, v := range g.Neighbors(u) {
+					mult := g.Multiplicity(u, v)
+					for j := 0; j < mult; j++ {
+						g.RemoveEdge(u, v)
+					}
+					removedNodeEdges = append(removedNodeEdges, Edge{U: u, V: v, Mult: mult})
+				}
+			}
+
+			_, sp := g.Dijkstra(spurNode, unit)
+			spurPath := PathTo(sp, spurNode, dst)
+
+			// Restore.
+			for _, e := range removed {
+				g.AddEdgeMulti(e.U, e.V, e.Mult)
+			}
+			for _, e := range removedNodeEdges {
+				g.AddEdgeMulti(e.U, e.V, e.Mult)
+			}
+
+			if spurPath == nil {
+				continue
+			}
+			total := make([]int, 0, i+len(spurPath))
+			total = append(total, rootPath...)
+			total = append(total, spurPath[1:]...)
+			key := pathKey(total)
+			if !seen[key] {
+				seen[key] = true
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if len(candidates[a]) != len(candidates[b]) {
+				return len(candidates[a]) < len(candidates[b])
+			}
+			return lexLess(candidates[a], candidates[b])
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func eqPrefix(p, prefix []int) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

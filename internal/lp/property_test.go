@@ -1,0 +1,99 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: on random LPs constructed to be feasible and bounded, the
+// returned point satisfies every constraint and non-negativity, and its
+// objective value matches the reported optimum.
+func TestPropertySolutionFeasible(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 2 + rng.Intn(6)
+		p := New(n)
+		for j := 0; j < n; j++ {
+			p.Maximize(j, rng.Float64()*5)
+			// Bound every variable: guarantees boundedness.
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddConstraint(row, LE, 1+rng.Float64()*9)
+		}
+		rows := make([][]float64, 0, m)
+		rhs := make([]float64, 0, m)
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() * 3 // non-negative: x=0 feasible
+			}
+			b := 1 + rng.Float64()*10
+			p.AddConstraint(row, LE, b)
+			rows = append(rows, row)
+			rhs = append(rhs, b)
+		}
+		obj, x, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		got := 0.0
+		for j := range x {
+			if x[j] < -1e-8 {
+				return false
+			}
+			got += p.Objective[j] * x[j]
+		}
+		if !almostEq(got, obj, 1e-6*(1+obj)) {
+			return false
+		}
+		for i, row := range rows {
+			lhs := 0.0
+			for j := range row {
+				lhs += row[j] * x[j]
+			}
+			if lhs > rhs[i]+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: weak duality spot-check via perturbation — tightening a RHS
+// never increases the optimum; loosening never decreases it.
+func TestPropertyRHSMonotonicity(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		build := func(slack float64) *Problem {
+			r := rand.New(rand.NewSource(seed)) // same structure each time
+			p := New(n)
+			for j := 0; j < n; j++ {
+				p.Maximize(j, 1+r.Float64())
+				row := make([]float64, n)
+				row[j] = 1
+				p.AddConstraint(row, LE, 2+r.Float64())
+			}
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = 0.5 + r.Float64()
+			}
+			p.AddConstraint(row, LE, 3+slack)
+			return p
+		}
+		tight, _, err1 := build(0).Solve()
+		loose, _, err2 := build(2).Solve()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return loose >= tight-1e-7
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

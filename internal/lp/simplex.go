@@ -1,0 +1,289 @@
+// Package lp provides a small, dependency-free linear programming solver:
+// a dense two-phase primal simplex with Bland's anti-cycling rule. It plays
+// the role Gurobi/CPLEX play for topobench in the paper, at the scales where
+// exactness matters (validating the FPTAS in internal/fluid, toy examples,
+// property tests of §2's theorems).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is a constraint relation.
+type Relation int
+
+const (
+	LE Relation = iota // <=
+	GE                 // >=
+	EQ                 // ==
+)
+
+// Constraint is a single linear constraint: sum coef_i * x_i REL rhs.
+// Coef must have length NumVars of the owning problem.
+type Constraint struct {
+	Coef []float64
+	Rel  Relation
+	RHS  float64
+}
+
+// Problem is a linear program: maximize Objective · x subject to the
+// constraints and x >= 0.
+type Problem struct {
+	NumVars   int
+	Objective []float64
+	Cons      []Constraint
+}
+
+// New creates a problem with n non-negative variables and a zero objective.
+func New(n int) *Problem {
+	return &Problem{NumVars: n, Objective: make([]float64, n)}
+}
+
+// Maximize sets the objective coefficient of variable i.
+func (p *Problem) Maximize(i int, coef float64) { p.Objective[i] = coef }
+
+// AddConstraint appends a constraint; coef is copied.
+func (p *Problem) AddConstraint(coef []float64, rel Relation, rhs float64) {
+	if len(coef) != p.NumVars {
+		panic(fmt.Sprintf("lp: constraint has %d coefficients, want %d", len(coef), p.NumVars))
+	}
+	c := Constraint{Coef: append([]float64(nil), coef...), Rel: rel, RHS: rhs}
+	p.Cons = append(p.Cons, c)
+}
+
+// ErrInfeasible is returned when no feasible point exists.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded above.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex. On success it returns the optimal objective
+// value and an optimal assignment.
+func (p *Problem) Solve() (float64, []float64, error) {
+	m := len(p.Cons)
+	n := p.NumVars
+
+	// Normalize to RHS >= 0 by flipping rows.
+	type row struct {
+		coef []float64
+		rel  Relation
+		rhs  float64
+	}
+	rows := make([]row, m)
+	for i, c := range p.Cons {
+		r := row{coef: append([]float64(nil), c.Coef...), rel: c.Rel, rhs: c.RHS}
+		if r.rhs < 0 {
+			for j := range r.coef {
+				r.coef[j] = -r.coef[j]
+			}
+			r.rhs = -r.rhs
+			switch r.rel {
+			case LE:
+				r.rel = GE
+			case GE:
+				r.rel = LE
+			}
+		}
+		rows[i] = r
+	}
+
+	// Column layout: [structural n] [slack/surplus] [artificial]
+	numSlack := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			numSlack++
+		}
+	}
+	numArt := 0
+	for _, r := range rows {
+		if r.rel != LE {
+			numArt++
+		}
+	}
+	total := n + numSlack + numArt
+	// Tableau: m rows × (total+1) columns (last column = rhs).
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + numSlack
+	artRows := make([]int, 0, numArt)
+	for i, r := range rows {
+		t[i] = make([]float64, total+1)
+		copy(t[i], r.coef)
+		t[i][total] = r.rhs
+		switch r.rel {
+		case LE:
+			t[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			t[i][slackCol] = -1
+			slackCol++
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+			artRows = append(artRows, i)
+		case EQ:
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+			artRows = append(artRows, i)
+		}
+	}
+
+	// Phase 1: minimize sum of artificials == maximize -sum(art).
+	if numArt > 0 {
+		obj := make([]float64, total)
+		for j := n + numSlack; j < total; j++ {
+			obj[j] = -1
+		}
+		val, err := simplexIterate(t, basis, obj)
+		if err != nil {
+			return 0, nil, err
+		}
+		if val < -eps {
+			return 0, nil, ErrInfeasible
+		}
+		// Drive any remaining artificial variables out of the basis.
+		for i := range basis {
+			if basis[i] >= n+numSlack {
+				pivoted := false
+				for j := 0; j < n+numSlack; j++ {
+					if math.Abs(t[i][j]) > eps {
+						pivot(t, basis, i, j)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted {
+					// Redundant row; leave the artificial at zero.
+					_ = pivoted
+				}
+			}
+		}
+	}
+
+	// Phase 2: maximize the real objective; artificial columns are frozen by
+	// giving them no objective and excluding them from entering.
+	obj := make([]float64, total)
+	copy(obj, p.Objective)
+	limit := n + numSlack // artificials may not enter
+	val, err := simplexIterateLimited(t, basis, obj, limit)
+	if err != nil {
+		return 0, nil, err
+	}
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = t[i][len(t[i])-1]
+		}
+	}
+	return val, x, nil
+}
+
+func simplexIterate(t [][]float64, basis []int, obj []float64) (float64, error) {
+	return simplexIterateLimited(t, basis, obj, len(obj))
+}
+
+// simplexIterateLimited runs primal simplex allowing only columns < limit to
+// enter the basis. Returns the objective value at optimum.
+func simplexIterateLimited(t [][]float64, basis []int, obj []float64, limit int) (float64, error) {
+	m := len(t)
+	if m == 0 {
+		return 0, nil
+	}
+	total := len(t[0]) - 1
+	// Reduced costs are computed on demand: z_j - c_j = sum_i y_i a_ij - c_j
+	// where y solves the basic system. For a dense tableau the easy route is
+	// to keep an explicit objective row.
+	z := make([]float64, total+1)
+	rebuildZ := func() {
+		for j := range z {
+			z[j] = 0
+		}
+		for j := 0; j < total; j++ {
+			z[j] = -obj[j]
+		}
+		for i := 0; i < m; i++ {
+			cb := obj[basis[i]]
+			if cb == 0 {
+				continue
+			}
+			for j := 0; j <= total; j++ {
+				z[j] += cb * t[i][j]
+			}
+		}
+	}
+	rebuildZ()
+	maxIter := 20000 + 200*(m+total)
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column: most negative reduced cost (Dantzig), falling
+		// back to Bland when degenerate progress stalls.
+		enter := -1
+		best := -eps
+		for j := 0; j < limit; j++ {
+			if z[j] < best {
+				best = z[j]
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return z[total], nil
+		}
+		// Ratio test (Bland tie-break on basis index).
+		leave := -1
+		var ratio float64
+		for i := 0; i < m; i++ {
+			a := t[i][enter]
+			if a > eps {
+				r := t[i][total] / a
+				if leave == -1 || r < ratio-eps || (math.Abs(r-ratio) <= eps && basis[i] < basis[leave]) {
+					leave = i
+					ratio = r
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, ErrUnbounded
+		}
+		pivot(t, basis, leave, enter)
+		// Update objective row by the same elimination.
+		f := z[enter]
+		if f != 0 {
+			for j := 0; j <= total; j++ {
+				z[j] -= f * t[leave][j]
+			}
+		}
+	}
+	return 0, errors.New("lp: iteration limit exceeded")
+}
+
+// pivot makes column `col` basic in row `row` via Gaussian elimination.
+func pivot(t [][]float64, basis []int, row, col int) {
+	m := len(t)
+	total := len(t[0]) - 1
+	p := t[row][col]
+	inv := 1.0 / p
+	for j := 0; j <= total; j++ {
+		t[row][j] *= inv
+	}
+	t[row][col] = 1 // exact
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+		t[i][col] = 0 // exact
+	}
+	basis[row] = col
+}

@@ -1,0 +1,196 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleMaximization(t *testing.T) {
+	// max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  -> x=2, y=6, obj=36
+	p := New(2)
+	p.Maximize(0, 3)
+	p.Maximize(1, 5)
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	obj, x, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(obj, 36, 1e-6) {
+		t.Fatalf("obj = %v, want 36", obj)
+	}
+	if !almostEq(x[0], 2, 1e-6) || !almostEq(x[1], 6, 1e-6) {
+		t.Fatalf("x = %v, want [2 6]", x)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// max x + y st x + y == 5, x <= 3 -> obj = 5
+	p := New(2)
+	p.Maximize(0, 1)
+	p.Maximize(1, 1)
+	p.AddConstraint([]float64{1, 1}, EQ, 5)
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	obj, _, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(obj, 5, 1e-6) {
+		t.Fatalf("obj = %v, want 5", obj)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// max -x st x >= 2 (i.e. min x) -> obj = -2
+	p := New(1)
+	p.Maximize(0, -1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	obj, x, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(obj, -2, 1e-6) || !almostEq(x[0], 2, 1e-6) {
+		t.Fatalf("obj=%v x=%v, want -2, [2]", obj, x)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := New(1)
+	p.Maximize(0, 1)
+	p.AddConstraint([]float64{1}, LE, 1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	_, _, err := p.Solve()
+	if err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := New(1)
+	p.Maximize(0, 1)
+	p.AddConstraint([]float64{-1}, LE, 0) // x >= 0 only
+	_, _, err := p.Solve()
+	if err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// max x st -x <= -2, x <= 5 -> x in [2,5], obj 5.
+	p := New(1)
+	p.Maximize(0, 1)
+	p.AddConstraint([]float64{-1}, LE, -2)
+	p.AddConstraint([]float64{1}, LE, 5)
+	obj, _, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(obj, 5, 1e-6) {
+		t.Fatalf("obj = %v, want 5", obj)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Degenerate vertex: several constraints meet at the optimum.
+	p := New(2)
+	p.Maximize(0, 1)
+	p.Maximize(1, 1)
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	p.AddConstraint([]float64{1, 1}, LE, 2)
+	obj, _, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(obj, 2, 1e-6) {
+		t.Fatalf("obj = %v, want 2", obj)
+	}
+}
+
+func TestMaxFlowAsLP(t *testing.T) {
+	// Max flow on a diamond: s->a (cap 3), s->b (cap 2), a->t (2), b->t (3),
+	// a->b (1). Max flow = 4 (a->t 2, plus b->t min(2+1,3)=... s->a 3 limited
+	// by a->t 2 + a->b 1 = 3; total = min: s side 5, t side 5, but a->t 2 and
+	// b->t 3 with b receiving 2+1=3 -> 2 + 3 = 5? s->a 3: a sends 2 to t and
+	// 1 to b; b has 2 from s + 1 = 3 to t. Total = 5.
+	// Variables: f_sa, f_sb, f_at, f_bt, f_ab.
+	p := New(5)
+	caps := []float64{3, 2, 2, 3, 1}
+	for i, c := range caps {
+		row := make([]float64, 5)
+		row[i] = 1
+		p.AddConstraint(row, LE, c)
+	}
+	// Conservation at a: f_sa = f_at + f_ab; at b: f_sb + f_ab = f_bt.
+	p.AddConstraint([]float64{1, 0, -1, 0, -1}, EQ, 0)
+	p.AddConstraint([]float64{0, 1, 0, -1, 1}, EQ, 0)
+	// Maximize flow into t.
+	p.Maximize(2, 1)
+	p.Maximize(3, 1)
+	obj, _, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(obj, 5, 1e-6) {
+		t.Fatalf("max flow = %v, want 5", obj)
+	}
+}
+
+func TestManyVariables(t *testing.T) {
+	// max sum x_i st sum x_i <= 10, x_i <= 1 for 30 vars -> obj = 10.
+	n := 30
+	p := New(n)
+	all := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p.Maximize(i, 1)
+		all[i] = 1
+		row := make([]float64, n)
+		row[i] = 1
+		p.AddConstraint(row, LE, 1)
+	}
+	p.AddConstraint(all, LE, 10)
+	obj, _, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(obj, 10, 1e-6) {
+		t.Fatalf("obj = %v, want 10", obj)
+	}
+}
+
+func TestSolutionSatisfiesConstraints(t *testing.T) {
+	p := New(3)
+	p.Maximize(0, 2)
+	p.Maximize(1, 3)
+	p.Maximize(2, 1)
+	cons := [][]float64{
+		{1, 1, 1},
+		{2, 1, 0},
+		{0, 1, 3},
+	}
+	rhs := []float64{10, 8, 9}
+	for i, c := range cons {
+		p.AddConstraint(c, LE, rhs[i])
+	}
+	_, x, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cons {
+		lhs := 0.0
+		for j := range c {
+			lhs += c[j] * x[j]
+		}
+		if lhs > rhs[i]+1e-6 {
+			t.Fatalf("constraint %d violated: %v > %v", i, lhs, rhs[i])
+		}
+	}
+	for j, xv := range x {
+		if xv < -1e-9 {
+			t.Fatalf("x[%d] = %v negative", j, xv)
+		}
+	}
+}

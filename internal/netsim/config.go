@@ -1,0 +1,127 @@
+// Package netsim is a packet-level data center network simulator — the
+// reproduction of the netbench simulator used in §6 of the paper. It models
+// output-queued switches with ECN marking and drop-tail queues, DCTCP
+// transport, and the paper's three routing schemes: ECMP, VLB and the
+// HYB ECMP→VLB hybrid, all at flowlet granularity.
+package netsim
+
+import "beyondft/internal/sim"
+
+// RoutingScheme selects how flows pick paths (§6).
+type RoutingScheme int
+
+const (
+	// ECMP hashes each flowlet onto a random shortest path.
+	ECMP RoutingScheme = iota
+	// VLB bounces every flowlet off a random intermediate switch
+	// (Valiant load balancing), each segment routed via ECMP.
+	VLB
+	// HYB routes a flow's first Q bytes via ECMP, then switches to VLB,
+	// at flowlet granularity (§6.3).
+	HYB
+	// HYBCA is the congestion-aware hybrid §6.3 describes first (and then
+	// simplifies into HYB): a flow stays on ECMP until it has seen a
+	// threshold number of ECN marks, then moves to VLB.
+	HYBCA
+	// KSP source-routes each flowlet over one of the k shortest paths
+	// (Yen), the routing substrate prior expander work builds on (§6).
+	KSP
+	// MPTCP approximates MPTCP-over-k-shortest-paths (§6): each flow is
+	// split into subflows pinned to distinct shortest paths, each running
+	// its own DCTCP instance (uncoupled congestion control — documented
+	// substitution, DESIGN.md §2).
+	MPTCP
+)
+
+func (r RoutingScheme) String() string {
+	switch r {
+	case ECMP:
+		return "ecmp"
+	case VLB:
+		return "vlb"
+	case HYB:
+		return "hyb"
+	case HYBCA:
+		return "hyb-ca"
+	case KSP:
+		return "ksp"
+	case MPTCP:
+		return "mptcp"
+	}
+	return "unknown"
+}
+
+// Config carries the simulation parameters of §6.4.
+type Config struct {
+	// LinkRateGbps is the switch-switch link rate (paper: 10 Gbps).
+	LinkRateGbps float64
+	// ServerLinkRateGbps is the server-switch link rate; 0 means "same as
+	// LinkRateGbps". Set very high (e.g. 4000) to reproduce the
+	// ProjecToR-style setting that ignores server-level bottlenecks.
+	ServerLinkRateGbps float64
+	// PropagationDelayNs is the per-link propagation delay.
+	PropagationDelayNs int64
+	// QueueCapPackets is the drop-tail capacity of every output queue.
+	QueueCapPackets int
+	// ECNThresholdPackets is DCTCP's marking threshold (paper: 20 packets).
+	ECNThresholdPackets int
+	// MTUBytes is the data packet size on the wire (payload + headers).
+	MTUBytes int
+	// PayloadBytes is the transport payload per data packet.
+	PayloadBytes int
+	// AckBytes is the ACK packet size on the wire.
+	AckBytes int
+	// FlowletGapNs is the flowlet timeout gap (paper: 50 µs).
+	FlowletGapNs int64
+	// HybridThresholdBytes is HYB's Q threshold (paper: 100 KB).
+	HybridThresholdBytes int64
+	// CAMarkThreshold is HYBCA's trigger: ECN-marked ACKs seen on ECMP
+	// before the flow moves to VLB.
+	CAMarkThreshold int
+	// KSPPaths is the number of shortest paths for KSP/MPTCP routing.
+	KSPPaths int
+	// MPTCPSubflows is the subflow count for MPTCP routing.
+	MPTCPSubflows int
+	// InitialWindowPackets is DCTCP's initial congestion window.
+	InitialWindowPackets float64
+	// MinRTONs is the retransmission timeout floor.
+	MinRTONs int64
+	// DCTCPGain is DCTCP's α EWMA gain g (paper value 1/16).
+	DCTCPGain float64
+	// Routing selects the routing scheme.
+	Routing RoutingScheme
+	// Seed drives all randomized choices (path hashing, VLB picks).
+	Seed int64
+}
+
+// DefaultConfig returns the §6.4 parameters.
+func DefaultConfig() Config {
+	return Config{
+		LinkRateGbps:         10,
+		ServerLinkRateGbps:   0,
+		PropagationDelayNs:   40,
+		QueueCapPackets:      100,
+		ECNThresholdPackets:  20,
+		MTUBytes:             1500,
+		PayloadBytes:         1400,
+		AckBytes:             64,
+		FlowletGapNs:         50_000,
+		HybridThresholdBytes: 100_000,
+		CAMarkThreshold:      8,
+		KSPPaths:             8,
+		MPTCPSubflows:        4,
+		InitialWindowPackets: 10,
+		MinRTONs:             int64(2 * sim.Millisecond),
+		DCTCPGain:            1.0 / 16.0,
+		Routing:              ECMP,
+		Seed:                 1,
+	}
+}
+
+// serverLinkRate resolves the effective server-link rate.
+func (c Config) serverLinkRate() float64 {
+	if c.ServerLinkRateGbps > 0 {
+		return c.ServerLinkRateGbps
+	}
+	return c.LinkRateGbps
+}

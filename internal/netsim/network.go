@@ -1,0 +1,408 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+)
+
+// Network wires a topology into a runnable packet simulation: hosts with
+// DCTCP transports, switches with per-destination ECMP next-hop tables, and
+// output-queued links everywhere.
+type Network struct {
+	Eng  *sim.Engine
+	Cfg  Config
+	Topo *topology.Topology
+
+	numSwitches int
+	numServers  int
+	serverTor   []int32 // global server id -> ToR switch
+
+	hostUp   []*Link // server -> its ToR
+	hostDown []*Link // ToR -> server
+
+	// nextHop[u][dst] lists the candidate out-links of switch u on shortest
+	// paths toward switch dst.
+	nextHop [][][]*Link
+	// linkTo[u][v] is the directed link from switch u to neighbor v.
+	linkTo     []map[int]*Link
+	interLinks []*Link
+
+	// kspCache holds the k shortest switch-level paths per (src,dst) ToR
+	// pair, computed lazily for KSP/MPTCP routing.
+	kspCache map[[2]int32][][]int32
+
+	rng  *rand.Rand
+	pool packetPool
+
+	flows   []*Flow
+	senders []*sender
+	recvs   []*receiver
+
+	// TotalDrops counts packets lost to full queues anywhere.
+	TotalDrops uint64
+	// DataHops counts switch visits by data packets; DataDelivered counts
+	// data packets reaching their destination server. Their ratio is the
+	// average path length actually taken (ECMP ~ shortest, VLB ~ 2x).
+	DataHops      uint64
+	DataDelivered uint64
+}
+
+// Flow is one transfer and its completion record.
+type Flow struct {
+	ID        int32
+	SrcServer int32
+	DstServer int32
+	SizeBytes int64
+	SizePkts  int32
+	StartNs   sim.Time
+	EndNs     sim.Time
+	Done      bool
+
+	// MPTCP bookkeeping: subflows are Hidden children of a parent flow that
+	// completes when the last child does.
+	Hidden       bool
+	parent       *Flow
+	childrenLeft int
+}
+
+// FCT returns the flow completion time; only valid when Done.
+func (f *Flow) FCT() sim.Time { return f.EndNs - f.StartNs }
+
+// NewNetwork builds the simulation for a topology. Every switch pair linked
+// in the topology gets a pair of directed links (trunks become one link of
+// aggregated rate); every server gets an up and a down link to its ToR.
+func NewNetwork(t *topology.Topology, cfg Config) *Network {
+	eng := sim.NewEngine()
+	n := &Network{
+		Eng:         eng,
+		Cfg:         cfg,
+		Topo:        t,
+		numSwitches: t.NumSwitches(),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+	}
+	serverTorInt := t.ServerSwitch()
+	n.numServers = len(serverTorInt)
+	n.serverTor = make([]int32, n.numServers)
+	for i, sw := range serverTorInt {
+		n.serverTor[i] = int32(sw)
+	}
+
+	// Host links.
+	n.hostUp = make([]*Link, n.numServers)
+	n.hostDown = make([]*Link, n.numServers)
+	srvRate := cfg.serverLinkRate()
+	for s := 0; s < n.numServers; s++ {
+		s := s
+		tor := int(n.serverTor[s])
+		n.hostUp[s] = newLink(eng, srvRate, cfg.PropagationDelayNs,
+			cfg.QueueCapPackets, cfg.ECNThresholdPackets,
+			func(p *Packet) { n.atSwitch(int32(tor), p) },
+			n.onDrop)
+		n.hostUp[s].isHostUplink = true
+		n.hostDown[s] = newLink(eng, srvRate, cfg.PropagationDelayNs,
+			cfg.QueueCapPackets, cfg.ECNThresholdPackets,
+			func(p *Packet) { n.atHost(int32(s), p) },
+			n.onDrop)
+	}
+
+	// Inter-switch links and next-hop tables.
+	swLink := make([]map[int]*Link, n.numSwitches)
+	for u := 0; u < n.numSwitches; u++ {
+		swLink[u] = make(map[int]*Link)
+	}
+	for _, e := range t.G.Edges() {
+		u, v, mult := e.U, e.V, e.Mult
+		mk := func(from, to int) *Link {
+			to32 := int32(to)
+			l := newLink(eng, cfg.LinkRateGbps*float64(mult), cfg.PropagationDelayNs,
+				cfg.QueueCapPackets, cfg.ECNThresholdPackets,
+				func(p *Packet) { n.atSwitch(to32, p) },
+				n.onDrop)
+			n.interLinks = append(n.interLinks, l)
+			return l
+		}
+		swLink[u][v] = mk(u, v)
+		swLink[v][u] = mk(v, u)
+	}
+	n.linkTo = swLink
+	n.kspCache = make(map[[2]int32][][]int32)
+	n.nextHop = make([][][]*Link, n.numSwitches)
+	for dst := 0; dst < n.numSwitches; dst++ {
+		hops := t.G.ShortestPathDAGNextHops(dst)
+		for u := 0; u < n.numSwitches; u++ {
+			if n.nextHop[u] == nil {
+				n.nextHop[u] = make([][]*Link, n.numSwitches)
+			}
+			if u == dst {
+				continue
+			}
+			links := make([]*Link, 0, len(hops[u]))
+			for _, v := range hops[u] {
+				links = append(links, swLink[u][v])
+			}
+			if len(links) == 0 {
+				panic(fmt.Sprintf("netsim: switch %d cannot reach %d", u, dst))
+			}
+			n.nextHop[u][dst] = links
+		}
+	}
+	return n
+}
+
+// NumServers returns the number of servers in the simulation.
+func (n *Network) NumServers() int { return n.numServers }
+
+// Flows returns all flows started so far.
+func (n *Network) Flows() []*Flow { return n.flows }
+
+func (n *Network) onDrop(p *Packet) {
+	n.TotalDrops++
+	n.pool.put(p)
+}
+
+// atSwitch routes a packet arriving at (or injected into) switch u.
+func (n *Network) atSwitch(u int32, p *Packet) {
+	if !p.IsAck {
+		n.DataHops++
+	}
+	if p.Route != nil {
+		if u == p.DstSwitch {
+			n.hostDown[p.DstServer].Enqueue(p)
+			return
+		}
+		// Advance the source route: Route[Hop] is the current switch.
+		if p.Route[p.Hop] != u {
+			panic(fmt.Sprintf("netsim: source route desync at switch %d (route %v, hop %d)",
+				u, p.Route, p.Hop))
+		}
+		next := int(p.Route[p.Hop+1])
+		p.Hop++
+		n.linkTo[u][next].Enqueue(p)
+		return
+	}
+	target := p.DstSwitch
+	if p.ViaSwitch >= 0 && !p.ViaReached {
+		if u == p.ViaSwitch {
+			p.ViaReached = true
+		} else {
+			target = p.ViaSwitch
+		}
+	}
+	if target == u {
+		if u == p.DstSwitch {
+			n.hostDown[p.DstServer].Enqueue(p)
+			return
+		}
+		// Reached the via point exactly; continue toward the destination.
+		target = p.DstSwitch
+	}
+	choices := n.nextHop[u][target]
+	h := splitmix64(p.PathHash ^ (uint64(u) << 20) ^ uint64(target))
+	choices[int(h%uint64(len(choices)))].Enqueue(p)
+}
+
+// atHost delivers a packet to a server: ACKs go to the flow's sender, data
+// to its receiver (which responds with an ACK).
+func (n *Network) atHost(host int32, p *Packet) {
+	if p.IsAck {
+		s := n.senders[p.FlowID]
+		s.onAck(p)
+		n.pool.put(p)
+		return
+	}
+	n.DataDelivered++
+	r := n.recvs[p.FlowID]
+	r.onData(n, p)
+	n.pool.put(p)
+}
+
+// StartFlow injects a flow of sizeBytes from srcServer to dstServer at the
+// current simulation time and returns its record. Under MPTCP routing,
+// large flows are split into subflows pinned to distinct shortest paths;
+// the returned parent flow completes when the last subflow does.
+func (n *Network) StartFlow(srcServer, dstServer int, sizeBytes int64) *Flow {
+	if srcServer == dstServer {
+		panic("netsim: flow to self")
+	}
+	if n.Cfg.Routing == MPTCP {
+		return n.startMPTCP(srcServer, dstServer, sizeBytes)
+	}
+	return n.startSingleFlow(srcServer, dstServer, sizeBytes, nil, nil)
+}
+
+// startSingleFlow creates one transport flow; route pins it to a source
+// route (MPTCP subflows), parent links it to an aggregate flow record.
+func (n *Network) startSingleFlow(srcServer, dstServer int, sizeBytes int64,
+	route []int32, parent *Flow) *Flow {
+	payload := int64(n.Cfg.PayloadBytes)
+	pkts := (sizeBytes + payload - 1) / payload
+	if pkts == 0 {
+		pkts = 1
+	}
+	f := &Flow{
+		ID:        int32(len(n.flows)),
+		SrcServer: int32(srcServer),
+		DstServer: int32(dstServer),
+		SizeBytes: sizeBytes,
+		SizePkts:  int32(pkts),
+		StartNs:   n.Eng.Now(),
+		Hidden:    parent != nil,
+		parent:    parent,
+	}
+	n.flows = append(n.flows, f)
+	snd := newSender(n, f)
+	snd.fixedRoute = route
+	n.senders = append(n.senders, snd)
+	n.recvs = append(n.recvs, newReceiver())
+	snd.start()
+	return f
+}
+
+// startMPTCP splits a flow across subflows on distinct k-shortest paths.
+func (n *Network) startMPTCP(srcServer, dstServer int, sizeBytes int64) *Flow {
+	srcTor := n.serverTor[srcServer]
+	dstTor := n.serverTor[dstServer]
+	paths := n.kspPaths(srcTor, dstTor)
+	k := n.Cfg.MPTCPSubflows
+	if k < 1 {
+		k = 1
+	}
+	if k > len(paths) {
+		k = len(paths)
+	}
+	payload := int64(n.Cfg.PayloadBytes)
+	// Tiny flows gain nothing from splitting.
+	if sizeBytes <= payload*int64(k) || k == 1 || srcTor == dstTor {
+		route := []int32(nil)
+		if len(paths) > 0 && srcTor != dstTor {
+			route = paths[0]
+		}
+		return n.startSingleFlow(srcServer, dstServer, sizeBytes, route, nil)
+	}
+	parent := &Flow{
+		ID:           int32(len(n.flows)),
+		SrcServer:    int32(srcServer),
+		DstServer:    int32(dstServer),
+		SizeBytes:    sizeBytes,
+		SizePkts:     int32((sizeBytes + payload - 1) / payload),
+		StartNs:      n.Eng.Now(),
+		childrenLeft: k,
+	}
+	n.flows = append(n.flows, parent)
+	n.senders = append(n.senders, nil) // the parent owns no transport
+	n.recvs = append(n.recvs, nil)
+	per := sizeBytes / int64(k)
+	for i := 0; i < k; i++ {
+		sz := per
+		if i == k-1 {
+			sz = sizeBytes - per*int64(k-1)
+		}
+		n.startSingleFlow(srcServer, dstServer, sz, paths[i%len(paths)], parent)
+	}
+	return parent
+}
+
+// flowCompleted finalizes a flow and propagates completion to MPTCP parents.
+func (n *Network) flowCompleted(f *Flow) {
+	f.Done = true
+	f.EndNs = n.Eng.Now()
+	if p := f.parent; p != nil {
+		p.childrenLeft--
+		if p.childrenLeft == 0 {
+			p.Done = true
+			p.EndNs = n.Eng.Now()
+		}
+	}
+}
+
+// kspPaths returns (and caches) up to Cfg.KSPPaths loopless shortest paths
+// between two ToRs as int32 switch sequences.
+func (n *Network) kspPaths(srcTor, dstTor int32) [][]int32 {
+	key := [2]int32{srcTor, dstTor}
+	if paths, ok := n.kspCache[key]; ok {
+		return paths
+	}
+	k := n.Cfg.KSPPaths
+	if k < 1 {
+		k = 1
+	}
+	raw := n.Topo.G.KShortestPaths(int(srcTor), int(dstTor), k)
+	paths := make([][]int32, 0, len(raw))
+	for _, p := range raw {
+		conv := make([]int32, len(p))
+		for i, v := range p {
+			conv[i] = int32(v)
+		}
+		paths = append(paths, conv)
+	}
+	n.kspCache[key] = paths
+	return paths
+}
+
+// ScheduleFlow injects a flow at absolute time at.
+func (n *Network) ScheduleFlow(at sim.Time, srcServer, dstServer int, sizeBytes int64) {
+	n.Eng.Schedule(at, func() { n.StartFlow(srcServer, dstServer, sizeBytes) })
+}
+
+// AvgDataPathHops returns the mean number of switches visited per delivered
+// data packet.
+func (n *Network) AvgDataPathHops() float64 {
+	if n.DataDelivered == 0 {
+		return 0
+	}
+	return float64(n.DataHops) / float64(n.DataDelivered)
+}
+
+// LinkStats aggregates counters over all inter-switch links.
+type LinkStats struct {
+	Transmitted uint64
+	Dropped     uint64
+	Marked      uint64
+	BytesTx     uint64
+	MaxQueue    int
+	Links       int
+}
+
+// InterSwitchStats sums the counters of every inter-switch link.
+func (n *Network) InterSwitchStats() LinkStats {
+	var s LinkStats
+	for _, l := range n.interLinks {
+		s.Transmitted += l.Transmitted
+		s.Dropped += l.Dropped
+		s.Marked += l.Marked
+		s.BytesTx += l.BytesTx
+		if l.MaxQueue > s.MaxQueue {
+			s.MaxQueue = l.MaxQueue
+		}
+		s.Links++
+	}
+	return s
+}
+
+// QueueLengths returns the instantaneous queue length of every inter-switch
+// link (for occupancy snapshots in tests and tools).
+func (n *Network) QueueLengths() []int {
+	out := make([]int, len(n.interLinks))
+	for i, l := range n.interLinks {
+		out[i] = l.QueueLen()
+	}
+	return out
+}
+
+// pickVia selects a VLB intermediate switch: uniform over all switches
+// except the source ToR (choosing the destination ToR degenerates to
+// shortest-path routing, as in classic Valiant load balancing).
+func (n *Network) pickVia(srcTor int32) int32 {
+	if n.numSwitches <= 1 {
+		return -1
+	}
+	for {
+		v := int32(n.rng.Intn(n.numSwitches))
+		if v != srcTor {
+			return v
+		}
+	}
+}

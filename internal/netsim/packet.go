@@ -1,0 +1,60 @@
+package netsim
+
+// Packet is a simulated wire packet; data and ACK packets share the struct.
+// Packets are pooled per network to keep the event loop allocation-free.
+type Packet struct {
+	FlowID    int32
+	Seq       int32 // data: packet sequence number (0-based)
+	AckSeq    int32 // ack: cumulative — all packets < AckSeq received
+	SizeBytes int32
+	IsAck     bool
+	CE        bool // congestion experienced (ECN mark set by a queue)
+	CEAtHost  bool // CE was set by the sending host's own NIC queue
+	ECNEcho   bool // ack: echo of the data packet's CE bit
+	// ECNEchoNet echoes only in-network marks (CE && !CEAtHost); HYBCA
+	// keys its ECMP->VLB switch on this so a flow does not flee its own
+	// NIC's marks.
+	ECNEchoNet bool
+
+	SrcServer int32
+	DstServer int32
+	DstSwitch int32 // ToR of DstServer
+
+	ViaSwitch  int32 // VLB intermediate; -1 for direct ECMP routing
+	ViaReached bool
+	PathHash   uint64 // per-flowlet hash driving ECMP choices
+
+	// Route is a source route (switch sequence from the source ToR to the
+	// destination ToR) used by KSP and MPTCP; nil for hash-based routing.
+	// The slice is shared across packets of a flowlet — never mutate it.
+	Route []int32
+	Hop   int32 // index of the current switch within Route
+}
+
+// packetPool is a simple free list.
+type packetPool struct {
+	free []*Packet
+}
+
+func (pp *packetPool) get() *Packet {
+	n := len(pp.free)
+	if n == 0 {
+		return &Packet{}
+	}
+	p := pp.free[n-1]
+	pp.free = pp.free[:n-1]
+	*p = Packet{}
+	return p
+}
+
+func (pp *packetPool) put(p *Packet) {
+	pp.free = append(pp.free, p)
+}
+
+// splitmix64 is the hash used for flowlet path selection.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,232 @@
+package netsim
+
+import (
+	"testing"
+
+	"beyondft/internal/graph"
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+)
+
+// ringTopo builds an n-switch ring with s servers each.
+func ringTopo(n, s int) *topology.Topology {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	servers := make([]int, n)
+	for i := range servers {
+		servers[i] = s
+	}
+	return &topology.Topology{Name: "ring", G: g, Servers: servers, SwitchPorts: s + 2}
+}
+
+func TestKSPUsesMultiplePaths(t *testing.T) {
+	// Square of 4 switches: two 2-hop paths between opposite racks. KSP with
+	// k=2 should spread flowlets across both; pure shortest-path hashing
+	// also does here, so check source routes directly via link usage on
+	// BOTH sides of the square.
+	topo := ringTopo(4, 2)
+	cfg := DefaultConfig()
+	cfg.Routing = KSP
+	cfg.KSPPaths = 2
+	cfg.FlowletGapNs = 0 // every packet re-rolls: maximal path diversity
+	n := NewNetwork(topo, cfg)
+	n.StartFlow(0, 4, 3_000_000) // rack 0 -> rack 2 (opposite)
+	n.Eng.Run(2 * sim.Second)
+	if !n.flows[0].Done {
+		t.Fatalf("flow incomplete")
+	}
+	used := 0
+	for _, l := range n.interLinks {
+		if l.Transmitted > 100 {
+			used++
+		}
+	}
+	// Both 2-hop directions: 4 directed links carried substantial data.
+	if used < 4 {
+		t.Fatalf("KSP used %d busy links, want >= 4 (both paths)", used)
+	}
+}
+
+func TestKSPAdjacentRacksBeatsECMP(t *testing.T) {
+	// The Fig. 7(a) scenario: between adjacent racks, ECMP sees one path;
+	// KSP (k=8) can also use 3-hop detours, so the same offered load
+	// finishes faster.
+	run := func(r RoutingScheme) sim.Time {
+		topo := ringTopo(6, 3)
+		cfg := DefaultConfig()
+		cfg.Routing = r
+		n := NewNetwork(topo, cfg)
+		var last *Flow
+		for i := 0; i < 3; i++ {
+			last = n.StartFlow(i, 3+i, 4_000_000) // rack 0 -> rack 1
+		}
+		n.Eng.Run(10 * sim.Second)
+		var maxEnd sim.Time
+		for _, f := range n.Flows() {
+			if !f.Done {
+				t.Fatalf("%v flow incomplete", r)
+			}
+			if f.EndNs > maxEnd {
+				maxEnd = f.EndNs
+			}
+		}
+		_ = last
+		return maxEnd
+	}
+	ecmp := run(ECMP)
+	ksp := run(KSP)
+	if ksp >= ecmp {
+		t.Fatalf("KSP (%v) should beat ECMP (%v) on adjacent-rack overload", ksp, ecmp)
+	}
+}
+
+func TestHYBCASwitchesOnCongestion(t *testing.T) {
+	// Adjacent racks, heavy load: the direct link congests, marks
+	// accumulate, and HYBCA flows move to VLB.
+	topo := ringTopo(6, 3)
+	cfg := DefaultConfig()
+	cfg.Routing = HYBCA
+	n := NewNetwork(topo, cfg)
+	for i := 0; i < 3; i++ {
+		n.StartFlow(i, 3+i, 4_000_000)
+	}
+	n.Eng.Run(10 * sim.Second)
+	switched := 0
+	for _, s := range n.senders {
+		if s.hybVLB {
+			switched++
+		}
+	}
+	if switched == 0 {
+		t.Fatalf("no HYBCA flow switched to VLB under congestion")
+	}
+	for _, f := range n.Flows() {
+		if !f.Done {
+			t.Fatalf("flow incomplete")
+		}
+	}
+}
+
+func TestHYBCAStaysOnECMPWhenUncongested(t *testing.T) {
+	topo := ringTopo(6, 3)
+	cfg := DefaultConfig()
+	cfg.Routing = HYBCA
+	n := NewNetwork(topo, cfg)
+	f := n.StartFlow(0, 3, 500_000) // single flow, no contention
+	n.Eng.Run(sim.Second)
+	if !f.Done {
+		t.Fatalf("flow incomplete")
+	}
+	if n.senders[f.ID].hybVLB {
+		t.Fatalf("HYBCA switched to VLB without congestion")
+	}
+}
+
+func TestMPTCPSplitsAndCompletes(t *testing.T) {
+	topo := ringTopo(4, 2)
+	cfg := DefaultConfig()
+	cfg.Routing = MPTCP
+	cfg.MPTCPSubflows = 2
+	n := NewNetwork(topo, cfg)
+	parent := n.StartFlow(0, 4, 2_000_000)
+	if parent.Hidden {
+		t.Fatalf("parent must be visible")
+	}
+	n.Eng.Run(2 * sim.Second)
+	if !parent.Done {
+		t.Fatalf("parent flow incomplete")
+	}
+	var children int
+	var childBytes int64
+	var lastEnd sim.Time
+	for _, f := range n.Flows() {
+		if f.Hidden {
+			children++
+			childBytes += f.SizeBytes
+			if !f.Done {
+				t.Fatalf("child incomplete though parent done")
+			}
+			if f.EndNs > lastEnd {
+				lastEnd = f.EndNs
+			}
+		}
+	}
+	if children != 2 {
+		t.Fatalf("children = %d, want 2", children)
+	}
+	if childBytes != parent.SizeBytes {
+		t.Fatalf("children carry %d bytes, parent %d", childBytes, parent.SizeBytes)
+	}
+	if parent.EndNs != lastEnd {
+		t.Fatalf("parent completion %v != last child completion %v", parent.EndNs, lastEnd)
+	}
+}
+
+func TestMPTCPTinyFlowNotSplit(t *testing.T) {
+	topo := ringTopo(4, 2)
+	cfg := DefaultConfig()
+	cfg.Routing = MPTCP
+	n := NewNetwork(topo, cfg)
+	f := n.StartFlow(0, 4, 2000) // two packets: not worth splitting
+	n.Eng.Run(sim.Second)
+	if !f.Done || f.Hidden {
+		t.Fatalf("tiny flow should run unsplit: done=%v hidden=%v", f.Done, f.Hidden)
+	}
+	for _, g := range n.Flows() {
+		if g.Hidden {
+			t.Fatalf("tiny flow produced subflows")
+		}
+	}
+}
+
+func TestMPTCPOutperformsSinglePathOnParallelPaths(t *testing.T) {
+	// Opposite racks on a square: two disjoint 2-hop paths of 10G each.
+	// One DCTCP flow uses one path per flowlet (~10G); MPTCP with 2 subflows
+	// can use both (~20G): completion should be substantially faster. Server
+	// NICs are uncapped so the network paths are the bottleneck.
+	run := func(r RoutingScheme) sim.Time {
+		topo := ringTopo(4, 2)
+		cfg := DefaultConfig()
+		cfg.Routing = r
+		cfg.MPTCPSubflows = 2
+		cfg.ServerLinkRateGbps = 100
+		cfg.FlowletGapNs = 1 << 40 // pin single-path flows to one path
+		n := NewNetwork(topo, cfg)
+		f := n.StartFlow(0, 4, 20_000_000)
+		n.Eng.Run(60 * sim.Second)
+		if !f.Done {
+			t.Fatalf("%v flow incomplete", r)
+		}
+		return f.FCT()
+	}
+	single := run(ECMP)
+	multi := run(MPTCP)
+	if float64(multi) > 0.75*float64(single) {
+		t.Fatalf("MPTCP (%v) should be well under ECMP (%v) with 2 disjoint paths", multi, single)
+	}
+}
+
+func TestSourceRoutePacketsFollowRoute(t *testing.T) {
+	topo := ringTopo(5, 1)
+	cfg := DefaultConfig()
+	cfg.Routing = KSP
+	n := NewNetwork(topo, cfg)
+	paths := n.kspPaths(0, 2)
+	if len(paths) == 0 {
+		t.Fatalf("no KSP paths")
+	}
+	// Shortest path 0->2 is 2 hops; second path is 3 hops the other way.
+	if len(paths[0]) != 3 {
+		t.Fatalf("first path = %v, want 3 switches", paths[0])
+	}
+	if len(paths) > 1 && len(paths[1]) != 4 {
+		t.Fatalf("second path = %v, want 4 switches", paths[1])
+	}
+	// Cache hit returns the identical slice.
+	again := n.kspPaths(0, 2)
+	if &again[0][0] != &paths[0][0] {
+		t.Fatalf("KSP cache miss on repeat lookup")
+	}
+}

@@ -1,0 +1,112 @@
+package rotornet
+
+import (
+	"math"
+	"math/rand"
+
+	"beyondft/internal/sim"
+	"beyondft/internal/stats"
+	"beyondft/internal/workload"
+)
+
+// Experiment mirrors the §6.4 framework on a RotorNet fabric: Poisson flow
+// arrivals between servers drawn from a PairDist, sizes from a FlowSizeDist,
+// metrics over flows started inside the measurement window.
+type Experiment struct {
+	Pairs  workload.PairDist
+	Sizes  workload.FlowSizeDist
+	Lambda float64
+
+	MeasureStart   sim.Time
+	MeasureEnd     sim.Time
+	MaxSimTime     sim.Time
+	Seed           int64
+	ShortFlowBytes int64
+}
+
+// Result matches workload.Result's metric set.
+type Result struct {
+	AvgFCTMs        float64
+	P99ShortFCTMs   float64
+	AvgLongTputGbps float64
+	MeasuredFlows   int
+	CompletedFlows  int
+	Overloaded      bool
+	DirectBytes     uint64
+	RelayBytes      uint64
+}
+
+// Run executes the experiment on a fresh RotorNet.
+func (e *Experiment) Run(n *Network) Result {
+	rng := rand.New(rand.NewSource(e.Seed))
+	short := e.ShortFlowBytes
+	if short == 0 {
+		short = 100_000
+	}
+	interArrival := func() sim.Time {
+		ns := sim.Time(rng.ExpFloat64() / e.Lambda * float64(sim.Second))
+		if ns < 1 {
+			ns = 1
+		}
+		return ns
+	}
+	var arrive func()
+	arrive = func() {
+		src, dst := e.Pairs.Sample(rng)
+		if n.ToROfServer(src) != n.ToROfServer(dst) {
+			n.StartServerFlow(src, dst, e.Sizes.Sample(rng))
+		}
+		next := n.Eng.Now() + interArrival()
+		if next < e.MaxSimTime {
+			n.Eng.Schedule(next, arrive)
+		}
+	}
+	n.Eng.Schedule(interArrival(), arrive)
+
+	measuredDone := func() bool {
+		if n.Eng.Now() < e.MeasureEnd {
+			return false
+		}
+		for _, f := range n.Flows() {
+			if f.StartNs >= e.MeasureStart && f.StartNs < e.MeasureEnd && !f.Done {
+				return false
+			}
+		}
+		return true
+	}
+	chunk := sim.Time(10 * sim.Millisecond)
+	for n.Eng.Now() < e.MaxSimTime && !measuredDone() {
+		n.Eng.Run(n.Eng.Now() + chunk)
+		if n.Eng.Pending() == 0 {
+			break
+		}
+	}
+
+	res := Result{DirectBytes: n.DirectBytes, RelayBytes: n.RelayBytes}
+	var all, shortF, longTput []float64
+	for _, f := range n.Flows() {
+		if f.StartNs < e.MeasureStart || f.StartNs >= e.MeasureEnd {
+			continue
+		}
+		res.MeasuredFlows++
+		if !f.Done {
+			res.Overloaded = true
+			continue
+		}
+		res.CompletedFlows++
+		fctMs := float64(f.FCT()) / float64(sim.Millisecond)
+		all = append(all, fctMs)
+		if f.SizeBytes < short {
+			shortF = append(shortF, fctMs)
+		} else {
+			longTput = append(longTput, float64(f.SizeBytes)*8/float64(f.FCT()))
+		}
+	}
+	res.AvgFCTMs = stats.Mean(all)
+	res.P99ShortFCTMs = stats.Percentile(shortF, 99)
+	res.AvgLongTputGbps = stats.Mean(longTput)
+	if math.IsNaN(res.AvgFCTMs) && res.MeasuredFlows == 0 {
+		res.AvgFCTMs = 0
+	}
+	return res
+}

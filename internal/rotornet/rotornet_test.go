@@ -1,0 +1,213 @@
+package rotornet
+
+import (
+	"math/rand"
+	"testing"
+
+	"beyondft/internal/graph"
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+	"beyondft/internal/workload"
+)
+
+func TestRoundRobinScheduleCoversAllPairs(t *testing.T) {
+	for _, n := range []int{4, 8, 9, 16} {
+		rounds := roundRobinSchedule(n)
+		seen := map[[2]int]bool{}
+		for r, peer := range rounds {
+			// Matching property within a round.
+			for i, p := range peer {
+				if p == -1 {
+					continue
+				}
+				if peer[p] != i {
+					t.Fatalf("n=%d round %d: not a matching (%d->%d->%d)", n, r, i, p, peer[p])
+				}
+				if i < p {
+					key := [2]int{i, p}
+					if seen[key] {
+						t.Fatalf("n=%d: pair %v appears twice", n, key)
+					}
+					seen[key] = true
+				}
+			}
+		}
+		want := n * (n - 1) / 2
+		if len(seen) != want {
+			t.Fatalf("n=%d: schedule covers %d pairs, want %d", n, len(seen), want)
+		}
+	}
+}
+
+func TestSingleFlowDelivers(t *testing.T) {
+	cfg := DefaultConfig(8, 4, 2)
+	n := NewNetwork(cfg)
+	f := n.StartFlow(0, 5, 1_000_000)
+	n.Eng.Run(sim.Second)
+	if !f.Done {
+		t.Fatalf("flow incomplete after 1s")
+	}
+	// 1 MB over 10G is 0.8 ms of serialization, but the flow must first
+	// wait for matchings: FCT is at least one slot and at most a full
+	// rotor cycle plus serialization.
+	if f.FCT() < sim.Time(cfg.SlotNs) {
+		t.Fatalf("FCT %v below one slot — matchings not modelled?", f.FCT())
+	}
+	maxNs := sim.Time(int64(len(n.matchings))*cfg.SlotNs) + 10*sim.Millisecond
+	if f.FCT() > maxNs {
+		t.Fatalf("FCT %v exceeds a rotor cycle + serialization (%v)", f.FCT(), maxNs)
+	}
+}
+
+func TestTwoHopBeatsDirectOnlyLatency(t *testing.T) {
+	run := func(twoHop bool) sim.Time {
+		cfg := DefaultConfig(16, 4, 1)
+		cfg.TwoHop = twoHop
+		n := NewNetwork(cfg)
+		f := n.StartFlow(0, 9, 10_000) // one tiny flow
+		n.Eng.Run(10 * sim.Second)
+		if !f.Done {
+			t.Fatalf("flow incomplete (twoHop=%v)", twoHop)
+		}
+		return f.FCT()
+	}
+	direct := run(false)
+	lb := run(true)
+	if lb > direct {
+		t.Fatalf("RotorLB latency %v should not exceed direct-only %v", lb, direct)
+	}
+}
+
+func TestThroughputNearLineRateForBulk(t *testing.T) {
+	// All-to-all bulk: every ToR sends to every other. Aggregate capacity is
+	// Ports x rate per ToR with ~90% duty cycle; the rotor schedule visits
+	// every destination, so bulk transfers should sustain high utilization.
+	cfg := DefaultConfig(8, 4, 2)
+	n := NewNetwork(cfg)
+	const size = 5_000_000
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i != j {
+				n.StartFlow(i, j, size)
+			}
+		}
+	}
+	n.Eng.Run(10 * sim.Second)
+	var last sim.Time
+	for _, f := range n.Flows() {
+		if !f.Done {
+			t.Fatalf("bulk flow incomplete")
+		}
+		if f.EndNs > last {
+			last = f.EndNs
+		}
+	}
+	totalBits := float64(8 * 7 * size * 8)
+	gbps := totalBits / float64(last)
+	// Fabric capacity: 8 ToRs x 2 ports x 10G x 0.9 duty = 144 Gbps.
+	if gbps < 0.5*144 {
+		t.Fatalf("bulk throughput %.1f Gbps, want >= 50%% of the 144 Gbps fabric", gbps)
+	}
+}
+
+func TestDutyCycleReducesCapacity(t *testing.T) {
+	run := func(reconfigNs int64) sim.Time {
+		cfg := DefaultConfig(4, 2, 1)
+		cfg.ReconfigNs = reconfigNs
+		n := NewNetwork(cfg)
+		f := n.StartFlow(0, 2, 20_000_000)
+		n.Eng.Run(30 * sim.Second)
+		if !f.Done {
+			t.Fatalf("flow incomplete")
+		}
+		return f.FCT()
+	}
+	ideal := run(0)
+	degraded := run(50_000) // 50% duty cycle
+	if float64(degraded) < 1.3*float64(ideal) {
+		t.Fatalf("50%% duty cycle should slow bulk transfers: %v vs %v", degraded, ideal)
+	}
+}
+
+func TestSlotLatencyFloorForShortFlows(t *testing.T) {
+	// RotorNet's structural weakness (§8): even an idle fabric cannot beat
+	// the slot granularity for short flows.
+	cfg := DefaultConfig(16, 4, 2)
+	n := NewNetwork(cfg)
+	f := n.StartFlow(3, 11, 1000)
+	n.Eng.Run(sim.Second)
+	if !f.Done {
+		t.Fatalf("flow incomplete")
+	}
+	if f.FCT() < sim.Time(cfg.SlotNs) {
+		t.Fatalf("1KB flow FCT %v beat the slot floor %v", f.FCT(), cfg.SlotNs)
+	}
+}
+
+func TestExperimentRuns(t *testing.T) {
+	cfg := DefaultConfig(16, 4, 2)
+	n := NewNetwork(cfg)
+	// PairDist needs a Topology shell: an edgeless graph with the right
+	// server layout (pair sampling never touches edges).
+	servers := make([]int, 16)
+	for i := range servers {
+		servers[i] = 4
+	}
+	topo := &topology.Topology{Name: "rotor-shell", G: graph.New(16), Servers: servers}
+	rng := rand.New(rand.NewSource(1))
+	pairs := workload.NewSkew(topo, 0.1, 0.7, rng)
+	exp := &Experiment{
+		Pairs:        pairs,
+		Sizes:        workload.PFabricWebSearch(),
+		Lambda:       300,
+		MeasureStart: 20 * sim.Millisecond,
+		MeasureEnd:   120 * sim.Millisecond,
+		MaxSimTime:   2000 * sim.Millisecond,
+		Seed:         1,
+	}
+	res := exp.Run(n)
+	if res.MeasuredFlows < 10 {
+		t.Fatalf("measured %d flows, want >= 10", res.MeasuredFlows)
+	}
+	if res.Overloaded {
+		t.Fatalf("light load overloaded: %+v", res)
+	}
+	if res.AvgFCTMs <= 0 {
+		t.Fatalf("bad avg FCT: %v", res.AvgFCTMs)
+	}
+	if res.DirectBytes == 0 {
+		t.Fatalf("no direct deliveries recorded")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() []sim.Time {
+		cfg := DefaultConfig(8, 2, 2)
+		n := NewNetwork(cfg)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 30; i++ {
+			s, d := rng.Intn(8), rng.Intn(8)
+			if s == d {
+				continue
+			}
+			at := sim.Time(rng.Intn(5000)) * sim.Microsecond
+			sz := int64(1000 + rng.Intn(3_000_000))
+			n.Eng.Schedule(at, func() { n.StartFlow(s, d, sz) })
+		}
+		n.Eng.Run(20 * sim.Second)
+		var out []sim.Time
+		for _, f := range n.Flows() {
+			out = append(out, f.EndNs)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("flow counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at flow %d", i)
+		}
+	}
+}

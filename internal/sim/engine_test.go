@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-time events executed out of insertion order: %v", got[:10])
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(100, func() { fired++ })
+	e.Schedule(200, func() { fired++ })
+	n := e.Run(150)
+	if n != 1 || fired != 1 {
+		t.Fatalf("Run(150) executed %d events, fired=%d; want 1,1", n, fired)
+	}
+	if e.Now() != 150 {
+		t.Fatalf("Now = %d, want 150 (clock advances to the horizon)", e.Now())
+	}
+	e.Run(300)
+	if fired != 2 {
+		t.Fatalf("second event did not fire")
+	}
+}
+
+func TestAfterAndCausality(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(50, func() {
+		e.After(25, func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 75 {
+		t.Fatalf("After fired at %d, want 75", at)
+	}
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.Schedule(100, func() {
+		e.Schedule(10, func() { at = e.Now() }) // in the past
+	})
+	e.RunAll()
+	if at != 100 {
+		t.Fatalf("past-scheduled event fired at %d, want clamp to 100", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var recur func()
+	recur = func() {
+		count++
+		if count < 1000 {
+			e.After(1, recur)
+		}
+	}
+	e.Schedule(0, recur)
+	e.RunAll()
+	if count != 1000 {
+		t.Fatalf("count = %d, want 1000", count)
+	}
+	if e.Now() != 999 {
+		t.Fatalf("Now = %d, want 999", e.Now())
+	}
+}
+
+func TestDeterminismUnderRandomInsertion(t *testing.T) {
+	run := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var got []int
+		for i := 0; i < 500; i++ {
+			i := i
+			e.Schedule(Time(rng.Intn(100)), func() { got = append(got, i) })
+		}
+		e.RunAll()
+		return got
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs with the same seed diverge at %d", i)
+		}
+	}
+}
+
+func TestProcessedAndPending(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	e.RunAll()
+	if e.Processed() != 10 || e.Pending() != 0 {
+		t.Fatalf("Processed=%d Pending=%d, want 10,0", e.Processed(), e.Pending())
+	}
+}

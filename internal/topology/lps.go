@@ -1,0 +1,196 @@
+package topology
+
+import (
+	"fmt"
+
+	"beyondft/internal/graph"
+)
+
+// LPS builds the Lubotzky–Phillips–Sarnak Ramanujan graphs X^{p,q} that §3
+// names as another family of near-optimal expanders ("such as LPS [25,33]").
+// These are (p+1)-regular Cayley graphs of PSL(2, Z_q) or PGL(2, Z_q) whose
+// second eigenvalue provably meets the Ramanujan bound 2√p.
+type LPS struct {
+	Topology
+	P, Q int
+	// Projective reports whether the graph is over PGL (p a non-residue
+	// mod q) or PSL (p a residue).
+	OverPGL bool
+}
+
+// lpsMatrix is a 2x2 matrix over Z_q in projective canonical form.
+type lpsMatrix [4]int // a b c d row-major
+
+// NewLPS constructs X^{p,q} for primes p ≠ q, both ≡ 1 (mod 4), with
+// q > 2√p (which keeps the graph simple). Each switch additionally carries
+// serversPerSwitch servers.
+//
+// Construction (LPS 1988): the p+1 integer quadruples (a₀,a₁,a₂,a₃) with
+// a₀ > 0 odd, a₁,a₂,a₃ even and a₀²+a₁²+a₂²+a₃² = p map to the generators
+//
+//	g = [ a₀+i·a₁   a₂+i·a₃ ]
+//	    [ -a₂+i·a₃  a₀−i·a₁ ]  (mod q),  i² ≡ −1 (mod q),
+//
+// and the graph is the Cayley graph of the subgroup they generate inside
+// PGL(2, Z_q), built here by breadth-first closure from the identity.
+func NewLPS(p, q, serversPerSwitch int) *LPS {
+	if !isPrime(p) || !isPrime(q) || p == q || p%4 != 1 || q%4 != 1 {
+		panic(fmt.Sprintf("lps: need distinct primes p,q ≡ 1 mod 4; got p=%d q=%d", p, q))
+	}
+	if 4*p >= q*q {
+		panic(fmt.Sprintf("lps: need q > 2*sqrt(p) for a simple graph (p=%d q=%d)", p, q))
+	}
+	i := sqrtMinusOne(q)
+	gens := lpsGenerators(p, q, i)
+	if len(gens) != p+1 {
+		panic(fmt.Sprintf("lps: found %d generators, want p+1=%d", len(gens), p+1))
+	}
+
+	// BFS closure from the identity under left multiplication.
+	idMat := canonical([4]int{1, 0, 0, 1}, q)
+	index := map[lpsMatrix]int{idMat: 0}
+	order := []lpsMatrix{idMat}
+	type edge struct{ u, v int }
+	var edges []edge
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		for _, g := range gens {
+			v := canonical(matMul(g, [4]int(u), q), q)
+			vi, ok := index[v]
+			if !ok {
+				vi = len(order)
+				index[v] = vi
+				order = append(order, v)
+			}
+			if head < vi { // add each undirected edge once (generators come in inverse pairs)
+				edges = append(edges, edge{u: head, v: vi})
+			}
+		}
+	}
+	gph := graph.New(len(order))
+	for _, e := range edges {
+		gph.AddEdge(e.u, e.v)
+	}
+
+	// p is a quadratic residue mod q iff the graph lies in PSL (index-2
+	// subgroup); otherwise it spans PGL.
+	pslOrder := q * (q*q - 1) / 2
+	servers := make([]int, gph.N())
+	for j := range servers {
+		servers[j] = serversPerSwitch
+	}
+	return &LPS{
+		Topology: Topology{
+			Name:        fmt.Sprintf("lps-p%d-q%d", p, q),
+			G:           gph,
+			Servers:     servers,
+			SwitchPorts: (p + 1) + serversPerSwitch,
+		},
+		P: p, Q: q,
+		OverPGL: gph.N() != pslOrder,
+	}
+}
+
+// lpsGenerators enumerates the p+1 generator matrices.
+func lpsGenerators(p, q, i int) []lpsMatrix {
+	var gens []lpsMatrix
+	bound := 1
+	for bound*bound < p+1 {
+		bound++
+	}
+	if bound%2 == 1 {
+		bound++ // the a1..a3 loops step by 2 and must cover even values
+	}
+	for a0 := 1; a0*a0 <= p; a0 += 2 { // odd, positive
+		for a1 := -bound; a1 <= bound; a1 += 2 {
+			for a2 := -bound; a2 <= bound; a2 += 2 {
+				for a3 := -bound; a3 <= bound; a3 += 2 {
+					if a0*a0+a1*a1+a2*a2+a3*a3 != p {
+						continue
+					}
+					m := [4]int{
+						mod(a0+i*a1, q), mod(a2+i*a3, q),
+						mod(-a2+i*a3, q), mod(a0-i*a1, q),
+					}
+					gens = append(gens, canonical(m, q))
+				}
+			}
+		}
+	}
+	return gens
+}
+
+// mod returns x mod q in [0, q).
+func mod(x, q int) int {
+	r := x % q
+	if r < 0 {
+		r += q
+	}
+	return r
+}
+
+// matMul multiplies 2x2 matrices mod q.
+func matMul(a lpsMatrix, b [4]int, q int) [4]int {
+	return [4]int{
+		mod(int(a[0])*b[0]+int(a[1])*b[2], q),
+		mod(int(a[0])*b[1]+int(a[1])*b[3], q),
+		mod(int(a[2])*b[0]+int(a[3])*b[2], q),
+		mod(int(a[2])*b[1]+int(a[3])*b[3], q),
+	}
+}
+
+// canonical reduces a matrix to its projective representative: scale so the
+// first nonzero entry equals 1.
+func canonical(m [4]int, q int) lpsMatrix {
+	for _, x := range m {
+		if x != 0 {
+			inv := modInverse(x, q)
+			return lpsMatrix{
+				mod(m[0]*inv, q), mod(m[1]*inv, q),
+				mod(m[2]*inv, q), mod(m[3]*inv, q),
+			}
+		}
+	}
+	panic("lps: zero matrix")
+}
+
+// modInverse computes x^{-1} mod q (q prime, x != 0).
+func modInverse(x, q int) int {
+	// Fermat: x^(q-2) mod q.
+	result := 1
+	base := mod(x, q)
+	e := q - 2
+	for e > 0 {
+		if e&1 == 1 {
+			result = result * base % q
+		}
+		base = base * base % q
+		e >>= 1
+	}
+	return result
+}
+
+// sqrtMinusOne finds i with i² ≡ −1 (mod q) for prime q ≡ 1 (mod 4).
+func sqrtMinusOne(q int) int {
+	for a := 2; a < q; a++ {
+		// i = a^((q-1)/4) works when a is a non-residue.
+		i := powMod(a, (q-1)/4, q)
+		if i*i%q == q-1 {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("lps: no sqrt(-1) mod %d", q))
+}
+
+func powMod(b, e, m int) int {
+	r := 1
+	b = mod(b, m)
+	for e > 0 {
+		if e&1 == 1 {
+			r = r * b % m
+		}
+		b = b * b % m
+		e >>= 1
+	}
+	return r
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math/rand"
+
+	"beyondft/internal/netsim"
+	"beyondft/internal/sim"
+	"beyondft/internal/stats"
+)
+
+// Experiment is the §6.4 framework: Poisson flow arrivals at aggregate rate
+// Lambda, sources/destinations from Pairs, sizes from Sizes; statistics are
+// computed over flows started inside [MeasureStart, MeasureEnd), and the
+// simulation runs until those flows finish (or MaxSimTime, which flags the
+// run as overloaded — the paper's "persistently overloaded" condition).
+type Experiment struct {
+	Pairs  PairDist
+	Sizes  FlowSizeDist
+	Lambda float64 // aggregate flow starts per second
+
+	MeasureStart sim.Time
+	MeasureEnd   sim.Time
+	MaxSimTime   sim.Time
+	Seed         int64
+
+	// ShortFlowBytes splits short from long flows (paper: 100 KB).
+	ShortFlowBytes int64
+}
+
+// DefaultExperiment returns an experiment with the paper's window shape,
+// scaled: measure [start, end), run at most maxSim.
+func DefaultExperiment(pairs PairDist, sizes FlowSizeDist, lambda float64,
+	start, end, maxSim sim.Time, seed int64) *Experiment {
+	return &Experiment{
+		Pairs:          pairs,
+		Sizes:          sizes,
+		Lambda:         lambda,
+		MeasureStart:   start,
+		MeasureEnd:     end,
+		MaxSimTime:     maxSim,
+		Seed:           seed,
+		ShortFlowBytes: 100_000,
+	}
+}
+
+// Result carries the three metrics of Figs. 9–15.
+type Result struct {
+	AvgFCTMs        float64 // average FCT over all measured flows (ms)
+	P99ShortFCTMs   float64 // 99th-percentile FCT of <100KB flows (ms)
+	AvgLongTputGbps float64 // average throughput of >=100KB flows (Gbps)
+
+	MeasuredFlows  int
+	CompletedFlows int
+	Overloaded     bool
+	Drops          uint64
+	SimulatedNs    sim.Time
+	Events         uint64
+}
+
+// Run executes the experiment on net (which must be freshly built).
+func (e *Experiment) Run(net *netsim.Network) Result {
+	rng := rand.New(rand.NewSource(e.Seed))
+	interArrival := func() sim.Time {
+		gapSec := rng.ExpFloat64() / e.Lambda
+		ns := sim.Time(gapSec * float64(sim.Second))
+		if ns < 1 {
+			ns = 1
+		}
+		return ns
+	}
+	// Self-rescheduling arrival process keeps offered load constant while
+	// measured stragglers drain.
+	var arrive func()
+	arrive = func() {
+		src, dst := e.Pairs.Sample(rng)
+		size := e.Sizes.Sample(rng)
+		net.StartFlow(src, dst, size)
+		next := net.Eng.Now() + interArrival()
+		if next < e.MaxSimTime {
+			net.Eng.Schedule(next, arrive)
+		}
+	}
+	net.Eng.Schedule(interArrival(), arrive)
+
+	// Run in chunks until all measured flows complete.
+	chunk := sim.Time(10 * sim.Millisecond)
+	measuredDone := func() bool {
+		if net.Eng.Now() < e.MeasureEnd {
+			return false
+		}
+		for _, f := range net.Flows() {
+			if f.Hidden {
+				continue
+			}
+			if f.StartNs >= e.MeasureStart && f.StartNs < e.MeasureEnd && !f.Done {
+				return false
+			}
+		}
+		return true
+	}
+	for net.Eng.Now() < e.MaxSimTime && !measuredDone() {
+		net.Eng.Run(net.Eng.Now() + chunk)
+		if net.Eng.Pending() == 0 {
+			break
+		}
+	}
+
+	res := Result{Drops: net.TotalDrops, SimulatedNs: net.Eng.Now(), Events: net.Eng.Processed()}
+	var all, short []float64
+	var longTput []float64
+	for _, f := range net.Flows() {
+		if f.Hidden || f.StartNs < e.MeasureStart || f.StartNs >= e.MeasureEnd {
+			continue
+		}
+		res.MeasuredFlows++
+		if !f.Done {
+			res.Overloaded = true
+			continue
+		}
+		res.CompletedFlows++
+		fctMs := float64(f.FCT()) / float64(sim.Millisecond)
+		all = append(all, fctMs)
+		if f.SizeBytes < e.ShortFlowBytes {
+			short = append(short, fctMs)
+		} else {
+			gbps := float64(f.SizeBytes) * 8 / float64(f.FCT()) // bits per ns == Gbps
+			longTput = append(longTput, gbps)
+		}
+	}
+	res.AvgFCTMs = stats.Mean(all)
+	res.P99ShortFCTMs = stats.Percentile(short, 99)
+	res.AvgLongTputGbps = stats.Mean(longTput)
+	return res
+}

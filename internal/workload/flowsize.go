@@ -1,0 +1,169 @@
+// Package workload implements the §6.4 workload model: flow size
+// distributions (pFabric web search and Pareto-HULL, Fig. 8), Poisson flow
+// arrivals, the communication-pair distributions (A2A(x), Permute(x),
+// Skew(θ,φ), ProjecToR-like), and the experiment framework that runs them
+// on a netsim.Network and reports the paper's three metrics.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// FlowSizeDist samples flow sizes in bytes.
+type FlowSizeDist interface {
+	Name() string
+	Sample(rng *rand.Rand) int64
+	Mean() float64
+}
+
+// cdfEntry is one point of a discrete size distribution.
+type cdfEntry struct {
+	bytes int64
+	cdf   float64
+}
+
+// DiscreteCDF is a flow size distribution with point masses at given sizes,
+// as netbench samples empirical workloads.
+type DiscreteCDF struct {
+	name    string
+	entries []cdfEntry
+	mean    float64
+}
+
+// NewDiscreteCDF builds a distribution from (size, CDF) points; the CDF must
+// be increasing and end at 1.0.
+func NewDiscreteCDF(name string, sizes []int64, cdf []float64) *DiscreteCDF {
+	if len(sizes) != len(cdf) || len(sizes) == 0 {
+		panic("workload: bad CDF")
+	}
+	d := &DiscreteCDF{name: name}
+	prev := 0.0
+	for i := range sizes {
+		if cdf[i] <= prev && i > 0 {
+			panic("workload: CDF not increasing")
+		}
+		d.entries = append(d.entries, cdfEntry{bytes: sizes[i], cdf: cdf[i]})
+		d.mean += float64(sizes[i]) * (cdf[i] - prev)
+		prev = cdf[i]
+	}
+	if math.Abs(prev-1.0) > 1e-9 {
+		panic("workload: CDF must end at 1")
+	}
+	return d
+}
+
+// Name implements FlowSizeDist.
+func (d *DiscreteCDF) Name() string { return d.name }
+
+// Mean implements FlowSizeDist.
+func (d *DiscreteCDF) Mean() float64 { return d.mean }
+
+// Sample implements FlowSizeDist.
+func (d *DiscreteCDF) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	i := sort.Search(len(d.entries), func(i int) bool { return d.entries[i].cdf >= u })
+	if i >= len(d.entries) {
+		i = len(d.entries) - 1
+	}
+	return d.entries[i].bytes
+}
+
+// PFabricWebSearch returns the pFabric web-search flow size distribution
+// (Alizadeh et al., SIGCOMM'13; originally the DCTCP web-search workload).
+// Sizes are the standard CDF points at 1460-byte packets; the mean is
+// ≈2.4 MB, matching Fig. 8's annotation.
+func PFabricWebSearch() *DiscreteCDF {
+	pkt := int64(1460)
+	pkts := []int64{1, 6, 13, 19, 33, 53, 133, 667, 1333, 3333, 6667, 20000}
+	cdf := []float64{0.0001, 0.15, 0.2, 0.3, 0.4, 0.53, 0.6, 0.7, 0.8, 0.9, 0.97, 1.0}
+	sizes := make([]int64, len(pkts))
+	for i, p := range pkts {
+		sizes[i] = p * pkt
+	}
+	return NewDiscreteCDF("pfabric-websearch", sizes, cdf)
+}
+
+// ParetoHULL is the HULL (Alizadeh et al., NSDI'12) flow size distribution:
+// bounded Pareto with shape 1.05 and mean 100 KB (Fig. 8's "Pareto-HULL").
+type ParetoHULL struct {
+	shape float64
+	lo    float64
+	hi    float64
+	mean  float64
+}
+
+// NewParetoHULL builds the distribution, solving for the lower bound that
+// yields the 100 KB mean under a 1 GB truncation (heavy enough that the
+// 90th percentile stays below 100 KB, as §6.5 notes).
+func NewParetoHULL() *ParetoHULL {
+	const (
+		shape      = 1.05
+		hi         = 1e9
+		targetMean = 100e3
+	)
+	mean := func(lo float64) float64 {
+		// Bounded Pareto on [lo, hi] with shape a:
+		// E[X] = lo^a / (1-(lo/hi)^a) * a/(a-1) * (lo^(1-a) - hi^(1-a))
+		a := shape
+		norm := 1 - math.Pow(lo/hi, a)
+		return math.Pow(lo, a) / norm * a / (a - 1) *
+			(math.Pow(lo, 1-a) - math.Pow(hi, 1-a))
+	}
+	loA, loB := 100.0, targetMean
+	for i := 0; i < 200; i++ {
+		mid := (loA + loB) / 2
+		if mean(mid) < targetMean {
+			loA = mid
+		} else {
+			loB = mid
+		}
+	}
+	lo := (loA + loB) / 2
+	return &ParetoHULL{shape: shape, lo: lo, hi: hi, mean: mean(lo)}
+}
+
+// Name implements FlowSizeDist.
+func (p *ParetoHULL) Name() string { return "pareto-hull" }
+
+// Mean implements FlowSizeDist.
+func (p *ParetoHULL) Mean() float64 { return p.mean }
+
+// Sample implements FlowSizeDist via inverse-CDF of the bounded Pareto.
+func (p *ParetoHULL) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	a := p.shape
+	la, ha := math.Pow(p.lo, a), math.Pow(p.hi, a)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/a)
+	if x < p.lo {
+		x = p.lo
+	}
+	if x > p.hi {
+		x = p.hi
+	}
+	return int64(x)
+}
+
+// CDFValue returns P(X <= x) for the bounded Pareto (used by Fig. 8).
+func (p *ParetoHULL) CDFValue(x float64) float64 {
+	if x <= p.lo {
+		return 0
+	}
+	if x >= p.hi {
+		return 1
+	}
+	a := p.shape
+	return (1 - math.Pow(p.lo/x, a)) / (1 - math.Pow(p.lo/p.hi, a))
+}
+
+// CDFPoints returns the discrete CDF of a DiscreteCDF distribution (Fig. 8).
+func (d *DiscreteCDF) CDFPoints() ([]int64, []float64) {
+	sizes := make([]int64, len(d.entries))
+	cdf := make([]float64, len(d.entries))
+	for i, e := range d.entries {
+		sizes[i] = e.bytes
+		cdf[i] = e.cdf
+	}
+	return sizes, cdf
+}
