@@ -1,14 +1,19 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench figures figures-full examples clean
+.PHONY: all build test test-race vet bench figures figures-full run examples clean
 
 all: build test
 
 build:
 	go build ./...
 
-test:
+test: vet
 	go test ./...
+
+# The harness and the experiment drivers are the concurrent paths: run them
+# under the race detector.
+test-race:
+	go test -race ./internal/harness/... ./internal/experiments/...
 
 vet:
 	go vet ./...
@@ -23,6 +28,10 @@ figures:
 
 figures-full:
 	go run ./cmd/figures -full
+
+# Parallel, cached evaluation of the whole registry (see DESIGN.md §6).
+run:
+	go run ./cmd/runner run
 
 examples:
 	go run ./examples/quickstart

@@ -13,13 +13,17 @@
 package beyondft
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 
 	"beyondft/internal/experiments"
 	"beyondft/internal/flowsim"
 	"beyondft/internal/fluid"
+	"beyondft/internal/harness"
 	"beyondft/internal/netsim"
 	"beyondft/internal/sim"
 	"beyondft/internal/tm"
@@ -197,6 +201,54 @@ func BenchmarkExtensionFailureResilience(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		emit(b, cfg().ExtensionFailureResilience())
 	}
+}
+
+// --- Harness benchmarks ---------------------------------------------------
+
+// BenchmarkHarnessFigure2 measures the experiment harness's parallel
+// speedup on a registry of CPU-bound Figure-2 jobs: the same job set
+// executed with a single worker (serial, the old cmd/figures behaviour)
+// and with one worker per CPU. Each job regenerates the Fig. 2 curves many
+// times so per-job work dwarfs pool scheduling overhead, as in the real
+// packet-sim jobs.
+func BenchmarkHarnessFigure2(b *testing.B) {
+	mkJobs := func() []harness.Job {
+		n := 2 * runtime.GOMAXPROCS(0)
+		jobs := make([]harness.Job, n)
+		for i := range jobs {
+			name := fmt.Sprintf("fig2-rep%d", i)
+			jobs[i] = harness.Job{
+				Name: name,
+				Spec: "{}",
+				Run: func(ctx context.Context) (any, error) {
+					var f *experiments.Figure
+					for rep := 0; rep < 400; rep++ {
+						f = experiments.Figure2TP()
+					}
+					return &experiments.JobResult{Figures: []*experiments.Figure{f}}, nil
+				},
+			}
+		}
+		return jobs
+	}
+	run := func(b *testing.B, workers int) {
+		jobs := mkJobs()
+		for i := 0; i < b.N; i++ {
+			rep, err := harness.Run(context.Background(), jobs, harness.Options{Workers: workers})
+			if err != nil || rep.Errors != 0 {
+				b.Fatalf("harness run: %v, errors=%d", err, rep.Errors)
+			}
+		}
+	}
+	// On a single-CPU host the parallel leg still runs 2 workers so the
+	// concurrent pool path is exercised (and the sub-benchmark names stay
+	// distinct); the speedup only shows on multi-core machines.
+	par := runtime.GOMAXPROCS(0)
+	if par < 2 {
+		par = 2
+	}
+	b.Run("j1", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("j%d", par), func(b *testing.B) { run(b, par) })
 }
 
 // --- Micro-benchmarks of the substrates ----------------------------------

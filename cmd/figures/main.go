@@ -1,18 +1,24 @@
 // Command figures regenerates the paper's tables and figures and prints
-// their rows. By default it runs every experiment at the laptop-scale
-// configuration; -full switches to the paper-scale configuration, and -fig
-// selects a subset (comma-separated ids, e.g. -fig fig5a,fig9).
+// their rows. It runs on top of the parallel experiment harness
+// (internal/harness): every figure is a registered job, executed by a
+// bounded worker pool, with an optional content-addressed result cache.
+//
+// By default it runs every experiment at the laptop-scale configuration;
+// -full switches to the paper-scale configuration, -fig selects a subset
+// (comma-separated ids, e.g. -fig fig5a,fig9), -j bounds the worker pool
+// and -cache makes re-runs incremental.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"runtime"
 	"strings"
-	"time"
 
 	"beyondft/internal/experiments"
+	"beyondft/internal/harness"
 )
 
 func main() {
@@ -20,14 +26,9 @@ func main() {
 	only := flag.String("fig", "", "comma-separated figure ids to run (default: all)")
 	seed := flag.Int64("seed", 1, "random seed")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size (1 = serial)")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (default: no cache)")
 	flag.Parse()
-
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
-			os.Exit(1)
-		}
-	}
 
 	cfg := experiments.DefaultConfig()
 	if *full {
@@ -35,71 +36,65 @@ func main() {
 	}
 	cfg.Seed = *seed
 
-	want := map[string]bool{}
-	for _, id := range strings.Split(*only, ",") {
-		if id = strings.TrimSpace(id); id != "" {
-			want[id] = true
-		}
-	}
-	selected := func(id string) bool { return len(want) == 0 || want[id] }
-
-	type driver struct {
-		id  string
-		run func() []*experiments.Figure
-	}
-	drivers := []driver{
-		{"table1", func() []*experiments.Figure { return []*experiments.Figure{experiments.Table1CostModel()} }},
-		{"fig2", func() []*experiments.Figure { return []*experiments.Figure{experiments.Figure2TP()} }},
-		{"fig3", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure3Xpander()} }},
-		{"fig4", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure4Toy()} }},
-		{"fig5a", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure5a()} }},
-		{"fig5b", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure5b()} }},
-		{"fig5alt", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure5Alt()} }},
-		{"fig6a", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure6a()} }},
-		{"fig6b", func() []*experiments.Figure { return []*experiments.Figure{cfg.Figure6b()} }},
-		{"fig7b", cfg.Figure7b},
-		{"fig7c", cfg.Figure7c},
-		{"fig8", func() []*experiments.Figure { return []*experiments.Figure{experiments.Figure8FlowSizes()} }},
-		{"fig9", cfg.Figure9},
-		{"fig10", cfg.Figure10},
-		{"fig11", cfg.Figure11},
-		{"fig12", cfg.Figure12},
-		{"fig13", cfg.Figure13},
-		{"fig14", cfg.Figure14},
-		{"fig15", cfg.Figure15},
-		{"fig-rotor", cfg.ExtensionRotorNet},
-		{"fig-failures", func() []*experiments.Figure {
-			return []*experiments.Figure{cfg.ExtensionFailureResilience()}
-		}},
-	}
-	ran := 0
-	for _, d := range drivers {
-		if !selected(d.id) {
-			continue
-		}
-		start := time.Now()
-		figs := d.run()
-		for _, f := range figs {
-			f.Fprint(os.Stdout)
-			if *csvDir != "" {
-				path := filepath.Join(*csvDir, f.ID+".csv")
-				out, err := os.Create(path)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
-					os.Exit(1)
-				}
-				if err := f.WriteCSV(out); err != nil {
-					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
-					os.Exit(1)
-				}
-				out.Close()
+	reg := cfg.Registry()
+	var jobs []harness.Job
+	if *only == "" {
+		jobs = reg.Jobs()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id == "" {
+				continue
 			}
+			j, ok := reg.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown figure id %q (try: go run ./cmd/runner list)\n", id)
+				os.Exit(1)
+			}
+			jobs = append(jobs, j)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", d.id, time.Since(start).Round(time.Millisecond))
-		ran++
 	}
-	if ran == 0 {
+	if len(jobs) == 0 {
 		fmt.Fprintf(os.Stderr, "no figures matched -fig=%q\n", *only)
+		os.Exit(1)
+	}
+
+	opt := harness.Options{
+		Workers:  *workers,
+		Salt:     experiments.CodeSalt,
+		OutDir:   *csvDir,
+		Progress: os.Stderr,
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *cacheDir != "" {
+		cache, err := harness.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		opt.Cache = cache
+	}
+
+	rep, err := harness.Run(context.Background(), jobs, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	// Print in registration (paper) order regardless of completion order.
+	for _, jr := range rep.Jobs {
+		if jr.Err != "" {
+			continue // reported below
+		}
+		for _, f := range jr.Value.(*experiments.JobResult).Figures {
+			f.Fprint(os.Stdout)
+		}
+	}
+	if err := rep.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}
 }

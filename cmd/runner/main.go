@@ -1,0 +1,210 @@
+// Command runner drives the paper's full evaluation through the parallel
+// experiment harness: every table/figure is a registered job, executed by a
+// bounded worker pool with a content-addressed result cache, so re-runs are
+// incremental — only jobs whose configuration or code changed recompute.
+//
+//	runner list                  # show the registered jobs
+//	runner run [flags]           # execute (a subset of) the registry
+//	runner status [flags]        # summarize the last run's manifest + cache
+//
+// Typical usage:
+//
+//	go run ./cmd/runner run -j 8 -only 'fig5*'
+//	go run ./cmd/runner run            # everything; 2nd invocation = all hits
+//	go run ./cmd/runner status
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"time"
+
+	"beyondft/internal/experiments"
+	"beyondft/internal/harness"
+)
+
+const (
+	defaultCacheDir = ".harness-cache"
+	defaultOutDir   = "runs/latest"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "runner: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runner: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: runner <command> [flags]
+
+commands:
+  list     list the registered experiment jobs
+  run      execute jobs through the parallel harness
+           -j N         worker pool size (default GOMAXPROCS)
+           -only GLOB   run only jobs matching the glob (e.g. 'fig5*')
+           -cache DIR   content-addressed result cache (default %s)
+           -no-cache    disable the cache (always recompute)
+           -out DIR     artifacts + manifest.json (default %s)
+           -full        paper-scale configuration (slow)
+           -seed N      base random seed (default 1)
+           -timeout D   stop dispatching new jobs after D; already-running
+                        jobs finish (default none)
+  status   summarize a previous run
+           -out DIR     run directory to read (default %s)
+           -cache DIR   cache to report stats for (default %s)
+`, defaultCacheDir, defaultOutDir, defaultOutDir, defaultCacheDir)
+}
+
+// config assembles the experiment configuration from the shared flags.
+func config(full bool, seed int64) experiments.Config {
+	cfg := experiments.DefaultConfig()
+	if full {
+		cfg = experiments.PaperConfig()
+	}
+	cfg.Seed = seed
+	return cfg
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	full := fs.Bool("full", false, "paper-scale configuration")
+	seed := fs.Int64("seed", 1, "base random seed")
+	fs.Parse(args)
+
+	reg := config(*full, *seed).Registry()
+	fmt.Printf("%d registered jobs (spec: %s)\n", reg.Len(), config(*full, *seed).Spec())
+	for _, j := range reg.Jobs() {
+		fmt.Printf("  %-14s key=%.12s…\n", j.Name, harness.Key(j.Name, j.Spec, experiments.CodeSalt))
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "worker pool size")
+	only := fs.String("only", "", "glob of job names to run")
+	cacheDir := fs.String("cache", defaultCacheDir, "result cache directory")
+	noCache := fs.Bool("no-cache", false, "disable the result cache")
+	outDir := fs.String("out", defaultOutDir, "output directory for artifacts and manifest")
+	full := fs.Bool("full", false, "paper-scale configuration (slow)")
+	seed := fs.Int64("seed", 1, "base random seed")
+	timeout := fs.Duration("timeout", 0, "stop dispatching new jobs after this long; running jobs finish (0 = none)")
+	fs.Parse(args)
+
+	cfg := config(*full, *seed)
+	jobs, err := cfg.Registry().Match(*only)
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("no jobs match -only=%q", *only)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opt := harness.Options{
+		Workers:  *workers,
+		Salt:     experiments.CodeSalt,
+		OutDir:   *outDir,
+		Progress: os.Stderr,
+	}
+	if !*noCache {
+		if opt.Cache, err = harness.OpenCache(*cacheDir); err != nil {
+			return err
+		}
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	rep, err := harness.Run(ctx, jobs, opt)
+	if err != nil {
+		return err
+	}
+	var cd string
+	if opt.Cache != nil {
+		cd = opt.Cache.Dir()
+	}
+	mp, err := harness.WriteManifest(*outDir, rep, cd)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "runner: manifest=%s artifacts=%s\n", mp, *outDir)
+	return rep.Err()
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	outDir := fs.String("out", defaultOutDir, "run directory to read")
+	cacheDir := fs.String("cache", defaultCacheDir, "cache directory to report stats for")
+	fs.Parse(args)
+
+	m, err := harness.ReadManifest(*outDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run of %s (workers=%d, salt=%s)\n", m.CreatedAt.Format(time.RFC3339), m.Workers, m.Salt)
+	fmt.Printf("  jobs=%d hits=%d misses=%d errors=%d wall=%s\n",
+		len(m.Jobs), m.CacheHits, m.CacheMisses, m.Errors,
+		(time.Duration(m.WallClockMs) * time.Millisecond).Round(time.Millisecond))
+
+	// Slowest jobs first: the ones worth optimizing or sharding next.
+	jobs := append([]harness.JobReport(nil), m.Jobs...)
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].DurationMs > jobs[j].DurationMs })
+	show := len(jobs)
+	if show > 5 {
+		show = 5
+	}
+	fmt.Printf("  slowest jobs:\n")
+	for _, jr := range jobs[:show] {
+		state := "computed"
+		if jr.Cached {
+			state = "cached"
+		}
+		if jr.Err != "" {
+			state = "ERROR: " + jr.Err
+		}
+		fmt.Printf("    %-14s %8s  %s (%d artifacts)\n", jr.Name,
+			(time.Duration(jr.DurationMs) * time.Millisecond).Round(time.Millisecond),
+			state, len(jr.Artifacts))
+	}
+
+	if c, err := harness.OpenCache(*cacheDir); err == nil {
+		if n, bytes, err := c.Stats(); err == nil {
+			fmt.Printf("  cache %s: %d entries, %.1f KiB\n", *cacheDir, n, float64(bytes)/1024)
+		}
+	}
+	return nil
+}

@@ -137,6 +137,13 @@ func PaperConfig() Config {
 	}
 }
 
+// rng derives an independent random stream from (base seed, call-site salt).
+// Determinism contract (enforced by TestJobsOrderAndParallelismInvariant):
+// every random draw in a driver must come from an rng obtained here with a
+// salt unique to that call site, and the returned *rand.Rand must never be
+// shared across logically separate constructions — that keeps each job a
+// pure function of its Config, so harness jobs produce identical figures
+// whether they run serially, in parallel, or in any order.
 func (c Config) rng(salt int64) *rand.Rand {
 	return rand.New(rand.NewSource(c.Seed*1_000_003 + salt))
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/csv"
 	"math"
 	"strings"
 	"testing"
@@ -141,6 +142,80 @@ func TestFigurePrinting(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestWriteCSVBasic(t *testing.T) {
+	f := &Figure{
+		XLabel: "x",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2.5}, Y: []float64{3, 0.125}},
+			{Label: "b", X: []float64{1, 2.5}, Y: []float64{4, 5}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	want := "x,a,b\n1,3,4\n2.5,0.125,5\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteCSVEmptyFigure(t *testing.T) {
+	f := &Figure{XLabel: "x"}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV on empty figure: %v", err)
+	}
+	// No series: just the x-label header row, no data rows.
+	if buf.String() != "x\n" {
+		t.Fatalf("empty-figure csv = %q, want header only", buf.String())
+	}
+}
+
+func TestWriteCSVUnequalSeriesLengths(t *testing.T) {
+	// The second series is shorter than the x axis: missing cells must be
+	// emitted as empty fields, not dropped or shifted.
+	f := &Figure{
+		XLabel: "x",
+		Series: []Series{
+			{Label: "long", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+			{Label: "short", X: []float64{1, 2, 3}, Y: []float64{7}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	want := "x,long,short\n1,10,7\n2,20,\n3,30,\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteCSVQuotesSpecialLabels(t *testing.T) {
+	// Labels containing commas and quotes must survive a CSV round trip.
+	f := &Figure{
+		XLabel: "x, with comma",
+		Series: []Series{
+			{Label: `say "hi"`, X: []float64{1}, Y: []float64{2}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if rows[0][0] != "x, with comma" || rows[0][1] != `say "hi"` {
+		t.Fatalf("header round trip mangled: %q", rows[0])
+	}
+	if rows[1][0] != "1" || rows[1][1] != "2" {
+		t.Fatalf("data row mangled: %q", rows[1])
 	}
 }
 

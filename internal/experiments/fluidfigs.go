@@ -122,19 +122,18 @@ func (c Config) Figure4Toy() *Figure {
 	unrestricted := fluid.UnrestrictedDynamic(6, 6)
 
 	// Static (a): 54 switches, 9 network ports, 6 servers (δ=1.5 cost parity).
-	rngA := c.rng(5)
-	jfA := topology.NewJellyfish(54, 9, 6, rngA)
+	jfA := topology.NewJellyfish(54, 9, 6, c.rng(5))
 	// Static (b): 81 switches, 12 ports, same 324 servers -> 4 servers, 8 net.
-	jfB := topology.NewJellyfish(81, 8, 4, rngA)
-	toy := func(t *topology.Topology) float64 {
-		racks := workload.ActiveRacks(t, 9/float64(t.NumSwitches()), false, rngA)
+	jfB := topology.NewJellyfish(81, 8, 4, c.rng(45))
+	toy := func(t *topology.Topology, salt int64) float64 {
+		racks := workload.ActiveRacks(t, 9/float64(t.NumSwitches()), false, c.rng(salt))
 		m := tm.AllToAll(racks[:9], func(r int) int { return t.Servers[r] })
 		return fluid.Throughput(t.G, m, fluid.GKOptions{Epsilon: c.Epsilon})
 	}
 	f.Series = append(f.Series, Series{
 		Label: "throughput",
 		X:     []float64{0, 1, 2, 3},
-		Y:     []float64{restricted, unrestricted, toy(jfA), toy(jfB)},
+		Y:     []float64{restricted, unrestricted, toy(jfA, 46), toy(jfB, 47)},
 	})
 	f.Notes = append(f.Notes,
 		"rows: restricted-dyn bound, unrestricted-dyn, jellyfish(54x9net), jellyfish(81x8net)",

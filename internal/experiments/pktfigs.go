@@ -131,9 +131,8 @@ func (c Config) Figure7c() []*Figure {
 	ft := c.BaselineFatTree()
 	xp := c.CheapXpander()
 	target := ft.TotalServers()
-	rng := c.rng(71)
-	ftPairs := workload.NewA2A(&ft.Topology, racksForServerTarget(&ft.Topology, target, true, rng))
-	xpPairs := workload.NewA2A(&xp.Topology, racksForServerTarget(&xp.Topology, target, false, rng))
+	ftPairs := workload.NewA2A(&ft.Topology, racksForServerTarget(&ft.Topology, target, true, c.rng(71)))
+	xpPairs := workload.NewA2A(&xp.Topology, racksForServerTarget(&xp.Topology, target, false, c.rng(72)))
 	lambdas := make([]float64, len(perServer))
 	for i, r := range perServer {
 		lambdas[i] = r * float64(target)
@@ -260,8 +259,8 @@ func (c Config) Figure11() []*Figure {
 	ft77 := topology.NewFatTreeAtCost(c.FatTreeK(), 0.77)
 	xp := c.CheapXpander()
 	target := int(0.31 * float64(ft.TotalServers()))
-	rng := c.rng(111)
-	mkPermute := func(t *topology.Topology, consec bool) workload.PairDist {
+	mkPermute := func(t *topology.Topology, consec bool, salt int64) workload.PairDist {
+		rng := c.rng(salt)
 		racks := racksForServerTarget(t, target, consec, rng)
 		if len(racks)%2 == 1 {
 			racks = racks[:len(racks)-1]
@@ -277,10 +276,10 @@ func (c Config) Figure11() []*Figure {
 		lambdas[i] = r * float64(target)
 	}
 	setups := []pktSetup{
-		{label: "fat-tree", topo: &ft.Topology, routing: netsim.ECMP, pairs: mkPermute(&ft.Topology, true)},
-		{label: "xpander-ecmp", topo: &xp.Topology, routing: netsim.ECMP, pairs: mkPermute(&xp.Topology, false)},
-		{label: "xpander-hyb", topo: &xp.Topology, routing: netsim.HYB, pairs: mkPermute(&xp.Topology, false)},
-		{label: "77%-fat-tree", topo: &ft77.Topology, routing: netsim.ECMP, pairs: mkPermute(&ft77.Topology, true)},
+		{label: "fat-tree", topo: &ft.Topology, routing: netsim.ECMP, pairs: mkPermute(&ft.Topology, true, 111)},
+		{label: "xpander-ecmp", topo: &xp.Topology, routing: netsim.ECMP, pairs: mkPermute(&xp.Topology, false, 112)},
+		{label: "xpander-hyb", topo: &xp.Topology, routing: netsim.HYB, pairs: mkPermute(&xp.Topology, false, 113)},
+		{label: "77%-fat-tree", topo: &ft77.Topology, routing: netsim.ECMP, pairs: mkPermute(&ft77.Topology, true, 114)},
 	}
 	return c.lambdaSweep("fig11", "Permute(0.31), pFabric sizes, increasing load", setups,
 		workload.PFabricWebSearch(), lambdas)
@@ -295,9 +294,8 @@ func (c Config) Figure12() []*Figure {
 	ft := c.BaselineFatTree()
 	xp := c.CheapXpander()
 	target := int(0.31 * float64(ft.TotalServers()))
-	rng := c.rng(121)
-	ftPairs := workload.NewA2A(&ft.Topology, racksForServerTarget(&ft.Topology, target, true, rng))
-	xpPairs := workload.NewA2A(&xp.Topology, racksForServerTarget(&xp.Topology, target, false, rng))
+	ftPairs := workload.NewA2A(&ft.Topology, racksForServerTarget(&ft.Topology, target, true, c.rng(121)))
+	xpPairs := workload.NewA2A(&xp.Topology, racksForServerTarget(&xp.Topology, target, false, c.rng(122)))
 	perServer := []float64{1600, 3200, 4800, 6400, 8000, 9400}
 	lambdas := make([]float64, len(perServer))
 	for i, r := range perServer {

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Version is the default code-version salt mixed into every cache key.
+// Bump it whenever the harness envelope format changes incompatibly;
+// experiment packages layer their own salt on top for driver changes.
+const Version = "harness-v1"
+
+// Key derives the content address of a job result: a hex SHA-256 over the
+// length-prefixed (name, spec, salt) triple. Length prefixes keep distinct
+// triples from colliding by concatenation (e.g. "ab"+"c" vs "a"+"bc").
+func Key(name, spec, salt string) string {
+	h := sha256.New()
+	for _, field := range []string{name, spec, salt} {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(field)))
+		h.Write(n[:])
+		h.Write([]byte(field))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Entry is the on-disk envelope of one cached result.
+type Entry struct {
+	Job       string          `json:"job"`
+	Spec      string          `json:"spec"`
+	Salt      string          `json:"salt"`
+	Key       string          `json:"key"`
+	CreatedAt time.Time       `json:"created_at"`
+	Result    json.RawMessage `json:"result"`
+}
+
+// Cache is a content-addressed store of job results: one JSON file per key
+// under a flat directory. Writes are atomic (temp file + rename), so a
+// concurrent or interrupted run never leaves a partial entry behind.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if necessary) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("harness: empty cache dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached result for key. A missing entry is (nil, false,
+// nil); a corrupt or mismatched entry is treated as a miss so a damaged
+// cache degrades to recomputation, never to a wrong answer.
+func (c *Cache) Get(key string) (json.RawMessage, bool, error) {
+	data, err := os.ReadFile(c.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("harness: cache read: %w", err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key || e.Result == nil {
+		return nil, false, nil // corrupt: recompute
+	}
+	return e.Result, true, nil
+}
+
+// Put stores a result under key, atomically.
+func (c *Cache) Put(key string, e Entry) error {
+	e.Key = key
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("harness: cache encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	return nil
+}
+
+// Stats reports the number of entries and their total size in bytes.
+func (c *Cache) Stats() (entries int, bytes int64, err error) {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("harness: cache stats: %w", err)
+	}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		entries++
+		bytes += info.Size()
+	}
+	return entries, bytes, nil
+}

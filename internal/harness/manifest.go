@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ManifestName is the file written into every run's output directory.
+const ManifestName = "manifest.json"
+
+// manifestSchema is bumped when the manifest layout changes incompatibly.
+const manifestSchema = 1
+
+// Manifest records everything about one run: when it ran, with how many
+// workers, which jobs hit the cache, how long each took, and which artifact
+// files were written. It is the machine-readable counterpart of the
+// progress lines, and what `runner status` reads back.
+type Manifest struct {
+	Schema    int       `json:"schema"`
+	CreatedAt time.Time `json:"created_at"`
+	CacheDir  string    `json:"cache_dir,omitempty"`
+	OutDir    string    `json:"out_dir,omitempty"`
+	Report
+}
+
+// WriteManifest serializes the report as dir/manifest.json (creating dir if
+// needed) and returns the path written.
+func WriteManifest(dir string, rep *Report, cacheDir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("harness: manifest: %w", err)
+	}
+	m := Manifest{
+		Schema:    manifestSchema,
+		CreatedAt: time.Now().UTC(),
+		CacheDir:  cacheDir,
+		OutDir:    dir,
+		Report:    *rep,
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("harness: manifest: %w", err)
+	}
+	p := filepath.Join(dir, ManifestName)
+	if err := os.WriteFile(p, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("harness: manifest: %w", err)
+	}
+	return p, nil
+}
+
+// ReadManifest loads dir/manifest.json.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("harness: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("harness: manifest: %w", err)
+	}
+	if m.Schema != manifestSchema {
+		return nil, fmt.Errorf("harness: manifest schema %d, want %d", m.Schema, manifestSchema)
+	}
+	return &m, nil
+}

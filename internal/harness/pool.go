@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Options configures one harness run.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache, if non-nil, makes the run incremental: jobs whose key is
+	// present are decoded instead of recomputed, fresh results are stored.
+	Cache *Cache
+	// Salt is the code-version salt mixed into every cache key. Empty
+	// means Version.
+	Salt string
+	// OutDir, if non-empty, receives per-job artifacts and is created on
+	// demand.
+	OutDir string
+	// Progress, if non-nil, receives one structured line per completed job
+	// plus a summary line (key=value pairs, greppable).
+	Progress io.Writer
+}
+
+// JobReport is the outcome of one job within a run.
+type JobReport struct {
+	Name       string   `json:"name"`
+	Key        string   `json:"key"`
+	Cached     bool     `json:"cached"`
+	DurationMs float64  `json:"duration_ms"`
+	Err        string   `json:"error,omitempty"`
+	Artifacts  []string `json:"artifacts,omitempty"`
+
+	// Value is the decoded result, available in-process only.
+	Value any `json:"-"`
+}
+
+// Report aggregates a run: per-job outcomes in input order plus wall-clock
+// and cache totals.
+type Report struct {
+	Workers     int         `json:"workers"`
+	Salt        string      `json:"salt"`
+	WallClockMs float64     `json:"wall_clock_ms"`
+	CacheHits   int         `json:"cache_hits"`
+	CacheMisses int         `json:"cache_misses"`
+	Errors      int         `json:"errors"`
+	Jobs        []JobReport `json:"jobs"`
+}
+
+// Err returns an aggregate error if any job failed, else nil.
+func (r *Report) Err() error {
+	var errs []error
+	for i := range r.Jobs {
+		if r.Jobs[i].Err != "" {
+			errs = append(errs, fmt.Errorf("%s: %s", r.Jobs[i].Name, r.Jobs[i].Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Run executes jobs through a bounded worker pool and returns a report with
+// one entry per job, in input order. Individual job failures (including
+// panics, which are recovered per job) are recorded in the report rather
+// than aborting the run; ctx cancellation stops dispatching and marks
+// not-yet-started jobs as canceled. The returned error covers only
+// harness-level failures (e.g. an unwritable output directory) — use
+// Report.Err for job failures.
+func Run(ctx context.Context, jobs []Job, opt Options) (*Report, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	salt := opt.Salt
+	if salt == "" {
+		salt = Version
+	}
+	rep := &Report{Workers: workers, Salt: salt, Jobs: make([]JobReport, len(jobs))}
+	start := time.Now()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards progress writes and the hit/miss/error counters
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				jr := runOne(ctx, jobs[i], salt, opt)
+				mu.Lock()
+				rep.Jobs[i] = jr
+				switch {
+				case jr.Err != "":
+					rep.Errors++
+				case jr.Cached:
+					rep.CacheHits++
+				default:
+					rep.CacheMisses++
+				}
+				done++
+				if opt.Progress != nil {
+					status := "ok"
+					if jr.Err != "" {
+						status = "error"
+					}
+					fmt.Fprintf(opt.Progress,
+						"harness: done=%d/%d job=%s status=%s cached=%t dur=%s\n",
+						done, len(jobs), jr.Name, status, jr.Cached,
+						time.Duration(jr.DurationMs*float64(time.Millisecond)).Round(time.Millisecond))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	// Mark jobs the cancellation prevented from starting.
+	if err := ctx.Err(); err != nil {
+		for i := range rep.Jobs {
+			if rep.Jobs[i].Name == "" {
+				rep.Jobs[i] = JobReport{Name: jobs[i].Name, Err: err.Error()}
+				rep.Errors++
+			}
+		}
+	}
+	rep.WallClockMs = float64(time.Since(start)) / float64(time.Millisecond)
+	if opt.Progress != nil {
+		fmt.Fprintf(opt.Progress,
+			"harness: run workers=%d jobs=%d hits=%d misses=%d errors=%d wall=%s\n",
+			workers, len(jobs), rep.CacheHits, rep.CacheMisses, rep.Errors,
+			time.Since(start).Round(time.Millisecond))
+	}
+	return rep, nil
+}
+
+// runOne executes a single job: cache lookup, compute on miss (with panic
+// recovery), cache store, artifact rendering.
+func runOne(ctx context.Context, job Job, salt string, opt Options) (jr JobReport) {
+	jr = JobReport{Name: job.Name, Key: Key(job.Name, job.Spec, salt)}
+	start := time.Now()
+	// Named return: the defer must observe every early return path.
+	defer func() { jr.DurationMs = float64(time.Since(start)) / float64(time.Millisecond) }()
+
+	if err := ctx.Err(); err != nil {
+		jr.Err = err.Error()
+		return jr
+	}
+
+	var raw json.RawMessage
+	if opt.Cache != nil {
+		cached, hit, err := opt.Cache.Get(jr.Key)
+		if err != nil {
+			jr.Err = err.Error()
+			return jr
+		}
+		if hit {
+			jr.Cached = true
+			raw = cached
+		}
+	}
+
+	var value any
+	if jr.Cached {
+		var err error
+		if value, err = decode(job, raw); err != nil {
+			// A cached entry the job can no longer decode means the result
+			// schema drifted without a salt bump: recompute rather than fail.
+			jr.Cached = false
+		}
+	}
+	if !jr.Cached {
+		var err error
+		value, err = safeRun(ctx, job)
+		if err != nil {
+			jr.Err = err.Error()
+			return jr
+		}
+		if opt.Cache != nil {
+			data, err := json.Marshal(value)
+			if err != nil {
+				jr.Err = fmt.Sprintf("encode result: %v", err)
+				return jr
+			}
+			if err := opt.Cache.Put(jr.Key, Entry{
+				Job: job.Name, Spec: job.Spec, Salt: salt,
+				CreatedAt: time.Now().UTC(), Result: data,
+			}); err != nil {
+				jr.Err = err.Error()
+				return jr
+			}
+		}
+	}
+	jr.Value = value
+
+	if opt.OutDir != "" && job.Artifacts != nil {
+		paths, err := job.Artifacts(value, opt.OutDir)
+		if err != nil {
+			jr.Err = fmt.Sprintf("artifacts: %v", err)
+			return jr
+		}
+		jr.Artifacts = paths
+	}
+	return jr
+}
+
+func decode(job Job, raw json.RawMessage) (any, error) {
+	if job.Decode == nil {
+		return raw, nil
+	}
+	return job.Decode(raw)
+}
+
+// safeRun invokes job.Run, converting a panic into an error so one bad job
+// cannot take down the whole run.
+func safeRun(ctx context.Context, job Job) (value any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return job.Run(ctx)
+}
