@@ -1,26 +1,43 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race vet bench figures figures-full run examples clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke figures figures-full run examples clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: vet
+test: vet bench-smoke
 	go test ./...
 
-# The harness and the experiment drivers are the concurrent paths: run them
-# under the race detector.
+# The harness, the experiment drivers, and the parallel graph/flow kernels
+# are the concurrent paths: run them under the race detector.
 test-race:
-	go test -race ./internal/harness/... ./internal/experiments/...
+	go test -race ./internal/harness/... ./internal/experiments/... \
+		./internal/graph/... ./internal/fluid/... ./internal/tm/...
 
 vet:
 	go vet ./...
 
-# One benchmark per paper table/figure plus micro/ablation benches.
-# Set BEYONDFT_PRINT=1 to also print the regenerated rows.
+# Tracked perf-trajectory benchmarks (see README "Benchmark trajectory"):
+# fixed -benchtime/-count so BENCH_pr<N>.json files are comparable across
+# PRs. Append new kernels to BENCH_PATTERN as they land.
+BENCH_PATTERN := BenchmarkAPSP|BenchmarkPathStats|BenchmarkBFS|BenchmarkDijkstra|BenchmarkLongestMatching|BenchmarkMaxConcurrentFlow|BenchmarkGKMaxConcurrentFlow
+BENCH_OUT := BENCH_pr2.json
 bench:
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -count 3 -benchmem -timeout 0 \
+		./internal/graph ./internal/fluid ./internal/tm . \
+		| go run ./cmd/benchjson -o $(BENCH_OUT)
+
+# One iteration of the tracked benchmarks, wired into `make test` so they
+# cannot bit-rot between perf PRs.
+bench-smoke:
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x \
+		./internal/graph ./internal/fluid ./internal/tm .
+
+# Everything: one benchmark per paper table/figure plus micro/ablation
+# benches. Set BEYONDFT_PRINT=1 to also print the regenerated rows.
+bench-all:
 	go test -timeout 0 -bench=. -benchmem ./...
 
 figures:

@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repository's benchmark-trajectory JSON (see README "Benchmark
+// trajectory"): a map from benchmark name (GOMAXPROCS suffix stripped) to
+// ns/op, B/op, allocs/op and iteration count, so `make bench` can check in
+// comparable numbers (BENCH_pr2.json, BENCH_pr3.json, ...) that future PRs
+// diff against.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_pr2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark's metrics. Zero BytesPerOp/AllocsPerOp simply
+// means -benchmem was off or the op allocated nothing.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the checked-in trajectory format.
+type File struct {
+	Format     string            `json:"format"` // "beyondft-bench-v1"
+	GoMaxProcs int               `json:"go_maxprocs,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkAPSP/parallel-8   100   11915343 ns/op   954 B/op   20 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	f := File{Format: "beyondft-bench-v1", Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays readable
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if m[2] != "" {
+			if p, err := strconv.Atoi(m[2]); err == nil && f.GoMaxProcs == 0 {
+				f.GoMaxProcs = p
+			}
+		}
+		iters, _ := strconv.ParseInt(m[3], 10, 64)
+		ns, _ := strconv.ParseFloat(m[4], 64)
+		r := Result{Iterations: iters, NsPerOp: ns}
+		for _, field := range strings.Split(strings.TrimSpace(m[5]), "\t") {
+			field = strings.TrimSpace(field)
+			switch {
+			case strings.HasSuffix(field, " B/op"):
+				r.BytesPerOp, _ = strconv.ParseInt(strings.Fields(field)[0], 10, 64)
+			case strings.HasSuffix(field, " allocs/op"):
+				r.AllocsPerOp, _ = strconv.ParseInt(strings.Fields(field)[0], 10, 64)
+			}
+		}
+		if prev, ok := f.Benchmarks[name]; ok && prev.NsPerOp <= ns {
+			continue // -count > 1: keep the fastest run
+		}
+		f.Benchmarks[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(f, "", "  ") // map keys marshal sorted: stable diffs
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
+}

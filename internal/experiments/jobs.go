@@ -15,7 +15,11 @@ import (
 // whenever a driver's computation changes (new series, different salts,
 // different defaults) so stale cached results are invalidated even though
 // job names and Config specs are unchanged.
-const CodeSalt = harness.Version + "+experiments-v1"
+//
+// v2: the GK solver tracks D(l) incrementally (PR 2), which shifts
+// throughput values by floating-point drift relative to the per-phase
+// rescan — enough to change cached CSV bytes.
+const CodeSalt = harness.Version + "+experiments-v2"
 
 // JobResult is the cacheable output of one experiment job: the figures the
 // driver produced. It round-trips through JSON losslessly (floats use the

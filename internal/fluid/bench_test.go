@@ -1,0 +1,34 @@
+package fluid
+
+import (
+	"math/rand"
+	"testing"
+
+	"beyondft/internal/tm"
+	"beyondft/internal/topology"
+)
+
+// BenchmarkMaxConcurrentFlow is the tracked GK-solver benchmark (see
+// BENCH_pr2.json): a Jellyfish at laptop scale under a longest-matching TM,
+// the paper's workhorse evaluation. It exercises the incremental D(l)
+// bookkeeping, the parallel per-source dual-bound distances, and the
+// early-terminating Dijkstra on the routing path.
+func BenchmarkMaxConcurrentFlow(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	jf := topology.NewJellyfish(64, 8, 6, rng)
+	var racks []int
+	for r := 0; r < jf.G.N(); r += 2 {
+		racks = append(racks, r)
+	}
+	m := tm.LongestMatching(jf.G, racks, tm.Uniform(6))
+	nw := NewNetwork(jf.G, 1.0)
+	comms := Commodities(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := MaxConcurrentFlow(nw, comms, GKOptions{Epsilon: 0.1})
+		if res.Throughput <= 0 {
+			b.Fatal("zero throughput")
+		}
+	}
+}

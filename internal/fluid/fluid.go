@@ -22,29 +22,42 @@ type Arc struct {
 }
 
 // Network is the arc-level view of a topology used by the flow solvers.
+// Arcs are stored in CSR order — grouped by From, ascending To within a
+// group — so the solver hot loops scan contiguous ranges instead of chasing
+// per-node index slices.
 type Network struct {
 	N    int
 	Arcs []Arc
-	// Out[v] lists arc indices leaving v.
+	// Out[v] lists arc indices leaving v (the contiguous range
+	// arcStart[v]..arcStart[v+1], kept as ints for the LP formulation).
 	Out [][]int
+	// arcStart/arcTo are the flat CSR arrays the Dijkstra inner loop runs
+	// on: arcTo[k] == Arcs[k].To for k in [arcStart[v], arcStart[v+1]).
+	arcStart []int32
+	arcTo    []int32
 }
 
 // NewNetwork expands an undirected multigraph into a directed arc network:
 // each distinct undirected edge of multiplicity μ becomes two arcs of
-// capacity μ·linkCap.
+// capacity μ·linkCap, emitted in CSR order off the graph's frozen view.
 func NewNetwork(g *graph.Graph, linkCap float64) *Network {
-	nw := &Network{N: g.N(), Out: make([][]int, g.N())}
-	for _, e := range g.Edges() {
-		c := float64(e.Mult) * linkCap
-		nw.addArc(e.U, e.V, c)
-		nw.addArc(e.V, e.U, c)
+	c := g.Frozen()
+	n := c.N()
+	nw := &Network{
+		N:        n,
+		Out:      make([][]int, n),
+		arcStart: make([]int32, n+1),
+	}
+	for u := 0; u < n; u++ {
+		nbr, mult := c.Row(u)
+		for k, v := range nbr {
+			nw.Out[u] = append(nw.Out[u], len(nw.Arcs))
+			nw.Arcs = append(nw.Arcs, Arc{From: u, To: int(v), Cap: float64(mult[k]) * linkCap})
+			nw.arcTo = append(nw.arcTo, v)
+		}
+		nw.arcStart[u+1] = int32(len(nw.Arcs))
 	}
 	return nw
-}
-
-func (nw *Network) addArc(u, v int, c float64) {
-	nw.Out[u] = append(nw.Out[u], len(nw.Arcs))
-	nw.Arcs = append(nw.Arcs, Arc{From: u, To: v, Cap: c})
 }
 
 // Commodity is a demand routed by the solvers.

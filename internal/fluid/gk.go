@@ -1,6 +1,13 @@
 package fluid
 
-import "math"
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"beyondft/internal/minheap"
+)
 
 // GKOptions tunes the Garg–Könemann/Fleischer max-concurrent-flow FPTAS.
 type GKOptions struct {
@@ -9,6 +16,11 @@ type GKOptions struct {
 	Epsilon float64
 	// MaxPhases caps the number of phases as a safety valve. Default 1e6.
 	MaxPhases int
+	// Workers bounds the goroutines used for the per-phase dual-bound
+	// distance computations (one Dijkstra per distinct commodity source,
+	// read-only on the length function within the phase). 0 means
+	// GOMAXPROCS. The result is identical at any worker count.
+	Workers int
 }
 
 // GKResult reports the solve outcome.
@@ -20,6 +32,11 @@ type GKResult struct {
 	UpperBound float64
 	Phases     int
 }
+
+// gkDebugCheckD, when non-nil (set only by tests), receives the
+// incrementally maintained D(l) = Σ cap·length and a fresh rescan at every
+// phase boundary so the incremental bookkeeping can be checked for drift.
+var gkDebugCheckD func(incremental, rescan float64)
 
 // MaxConcurrentFlow approximates the maximum concurrent flow for the given
 // commodities, i.e. the paper's "throughput per server" when demands are in
@@ -49,39 +66,74 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 	}
 	delta := math.Pow(float64(m)/(1-eps), -1/eps)
 	length := make([]float64, m)
+	// D tracks D(l) = Σ cap·length incrementally: seeded from the initial
+	// lengths here, then updated in O(1) at every length bump in the routing
+	// loop instead of an O(m) rescan per phase.
+	D := 0.0
 	for i, a := range nw.Arcs {
 		length[i] = delta / a.Cap
+		D += a.Cap * length[i]
 	}
 	flow := make([]float64, m)           // total flow per arc (all commodities)
 	routed := make([]float64, len(live)) // total routed per commodity
 
-	dualBound := math.Inf(1)
-	dl := func() float64 {
-		s := 0.0
-		for i, a := range nw.Arcs {
-			s += a.Cap * length[i]
+	// Distinct commodity sources, in first-appearance order; the per-phase
+	// dual bound needs one full Dijkstra per distinct source.
+	srcIndex := map[int]int{}
+	var sources []int
+	srcOf := make([]int, len(live)) // live[j].Src's index into sources
+	for j, c := range live {
+		k, ok := srcIndex[c.Src]
+		if !ok {
+			k = len(sources)
+			srcIndex[c.Src] = k
+			sources = append(sources, c.Src)
 		}
-		return s
+		srcOf[j] = k
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	states := make([]*spState, workers)
+	for w := range states {
+		states[w] = newSPState(nw)
+	}
+	srcDist := make([][]float64, len(sources))
+	for k := range srcDist {
+		srcDist[k] = make([]float64, nw.N)
 	}
 
-	sp := newSPState(nw)
+	dualBound := math.Inf(1)
+	sp := states[0] // routing reuses worker 0's scratch between phases
 	parent := make([]int32, nw.N)
 	phases := 0
-	for dl() < 1 && phases < maxPhases {
+	for D < 1 && phases < maxPhases {
 		phases++
-		// Dual bound for this phase: D(l) / Σ_j d_j·dist_l(j), grouped by src.
-		distCache := map[int][]float64{}
-		z := 0.0
-		for _, c := range live {
-			d, ok := distCache[c.Src]
-			if !ok {
-				d = append([]float64(nil), sp.dijkstra(c.Src, length, nil)...)
-				distCache[c.Src] = d
+		if gkDebugCheckD != nil {
+			rescan := 0.0
+			for i, a := range nw.Arcs {
+				rescan += a.Cap * length[i]
 			}
-			z += c.Demand * d[c.Dst]
+			gkDebugCheckD(D, rescan)
+		}
+		// Dual bound for this phase: D(l) / Σ_j d_j·dist_l(j). Lengths are
+		// read-only within this step, so the per-source Dijkstras fan out
+		// across the workers; each writes only its own srcDist row and the
+		// reduction below runs in fixed commodity order, so the result is
+		// identical at any worker count.
+		parallelSources(workers, len(sources), func(w, k int) {
+			states[w].dijkstra(sources[k], length, nil, srcDist[k], -1)
+		})
+		z := 0.0
+		for j, c := range live {
+			z += c.Demand * srcDist[srcOf[j]][c.Dst]
 		}
 		if z > 0 {
-			if b := dl() / z; b < dualBound {
+			if b := D / z; b < dualBound {
 				dualBound = b
 			}
 		}
@@ -95,7 +147,9 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 		for j, c := range live {
 			remaining := c.Demand
 			for remaining > 1e-15 {
-				d := sp.dijkstra(c.Src, length, parent)
+				// Only dist[c.Dst] and the parent chain behind it are
+				// needed, so the Dijkstra stops as soon as dst settles.
+				d := sp.dijkstra(c.Src, length, parent, nil, c.Dst)
 				if math.IsInf(d[c.Dst], 1) {
 					return GKResult{Throughput: 0, UpperBound: 0, Phases: phases}
 				}
@@ -115,7 +169,10 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 				for v := c.Dst; v != c.Src; {
 					ai := int(parent[v])
 					flow[ai] += f
-					length[ai] *= 1 + eps*f/nw.Arcs[ai].Cap
+					old := length[ai]
+					nl := old * (1 + eps*f/nw.Arcs[ai].Cap)
+					length[ai] = nl
+					D += nw.Arcs[ai].Cap * (nl - old)
 					v = nw.Arcs[ai].From
 				}
 				routed[j] += f
@@ -129,6 +186,33 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 		thr = dualBound // numerical safety: primal cannot beat the dual bound
 	}
 	return GKResult{Throughput: thr, UpperBound: dualBound, Phases: phases}
+}
+
+// parallelSources runs f(worker, k) for k in [0,n) on up to `workers`
+// goroutines, giving each a stable worker id for its scratch spState.
+func parallelSources(workers, n int, f func(worker, k int)) {
+	if workers <= 1 || n <= 1 {
+		for k := 0; k < n; k++ {
+			f(0, k)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				f(w, k)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // primalValue returns the certified feasible concurrent-flow fraction for
@@ -163,7 +247,7 @@ type spState struct {
 	nw   *Network
 	dist []float64
 	done []bool
-	heap spHeap
+	heap minheap.Heap
 }
 
 func newSPState(nw *Network) *spState {
@@ -171,66 +255,23 @@ func newSPState(nw *Network) *spState {
 		nw:   nw,
 		dist: make([]float64, nw.N),
 		done: make([]bool, nw.N),
-		heap: make(spHeap, 0, nw.N),
+		heap: make(minheap.Heap, 0, nw.N),
 	}
 }
 
-type spItem struct {
-	node int32
-	d    float64
-}
-
-// spHeap is a hand-rolled binary min-heap (container/heap would box every
-// spItem through interface{}, allocating on each push).
-type spHeap []spItem
-
-func (h *spHeap) push(it spItem) {
-	*h = append(*h, it)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if s[p].d <= s[i].d {
-			break
-		}
-		s[i], s[p] = s[p], s[i]
-		i = p
-	}
-}
-
-func (h *spHeap) pop() spItem {
-	s := *h
-	top := s[0]
-	last := len(s) - 1
-	s[0] = s[last]
-	s = s[:last]
-	*h = s
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= len(s) {
-			break
-		}
-		m := l
-		if r := l + 1; r < len(s) && s[r].d < s[l].d {
-			m = r
-		}
-		if s[i].d <= s[m].d {
-			break
-		}
-		s[i], s[m] = s[m], s[i]
-		i = m
-	}
-	return top
-}
-
-// dijkstra computes arc-length shortest paths from src into the shared
-// s.dist buffer (valid until the next call; callers that cache must copy).
-// If parent is non-nil, parent[v] is set to the arc index entering v on a
-// shortest path (−1 at src/unreachable).
-func (s *spState) dijkstra(src int, length []float64, parent []int32) []float64 {
+// dijkstra computes arc-length shortest paths from src. Distances are
+// written into dist if non-nil, else into the shared s.dist buffer (valid
+// until the next call; callers that cache must copy). If parent is non-nil,
+// parent[v] is set to the arc index entering v on a shortest path (−1 at
+// src/unreachable; only settled nodes have final parents). If target >= 0
+// the search stops once target is settled — dist[target] and the parent
+// chain from target back to src are final, other entries may be
+// unsettled upper bounds.
+func (s *spState) dijkstra(src int, length []float64, parent []int32, dist []float64, target int) []float64 {
 	nw := s.nw
-	dist := s.dist
+	if dist == nil {
+		dist = s.dist
+	}
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		s.done[i] = false
@@ -240,27 +281,31 @@ func (s *spState) dijkstra(src int, length []float64, parent []int32) []float64 
 	}
 	dist[src] = 0
 	h := &s.heap
-	*h = (*h)[:0]
-	h.push(spItem{node: int32(src), d: 0})
-	for len(*h) > 0 {
-		it := h.pop()
-		u := int(it.node)
+	h.Reset()
+	h.Push(minheap.Item{Node: int32(src), Pri: 0})
+	for h.Len() > 0 {
+		it := h.Pop()
+		u := int(it.Node)
 		if s.done[u] {
 			continue
 		}
 		s.done[u] = true
-		for _, ai := range nw.Out[u] {
-			a := nw.Arcs[ai]
-			if s.done[a.To] {
+		if u == target {
+			break
+		}
+		du := dist[u]
+		for ai := nw.arcStart[u]; ai < nw.arcStart[u+1]; ai++ {
+			to := nw.arcTo[ai]
+			if s.done[to] {
 				continue
 			}
-			nd := dist[u] + length[ai]
-			if nd < dist[a.To] {
-				dist[a.To] = nd
+			nd := du + length[ai]
+			if nd < dist[to] {
+				dist[to] = nd
 				if parent != nil {
-					parent[a.To] = int32(ai)
+					parent[to] = int32(ai)
 				}
-				h.push(spItem{node: int32(a.To), d: nd})
+				h.Push(minheap.Item{Node: to, Pri: nd})
 			}
 		}
 	}

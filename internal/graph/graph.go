@@ -11,6 +11,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Graph is an undirected multigraph on nodes 0..N-1. Edge multiplicity m
@@ -19,6 +20,12 @@ type Graph struct {
 	n   int
 	adj []map[int]int // adj[u][v] = multiplicity
 	m   int           // total edge count (counting multiplicity)
+
+	// frozen caches the CSR view built by Frozen(); mutations invalidate it.
+	// frozenMu makes concurrent Frozen() calls safe (mutation stays
+	// single-writer, as for the maps above).
+	frozenMu sync.Mutex
+	frozen   *CSR
 }
 
 // New returns an empty graph with n nodes and no edges.
@@ -59,6 +66,13 @@ func (g *Graph) AddEdgeMulti(u, v, mult int) {
 	g.adj[u][v] += mult
 	g.adj[v][u] += mult
 	g.m += mult
+	g.invalidate()
+}
+
+func (g *Graph) invalidate() {
+	g.frozenMu.Lock()
+	g.frozen = nil
+	g.frozenMu.Unlock()
 }
 
 // RemoveEdge removes one unit of multiplicity from edge (u,v).
@@ -74,6 +88,7 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 		delete(g.adj[v], u)
 	}
 	g.m--
+	g.invalidate()
 	return true
 }
 
@@ -108,14 +123,17 @@ type Edge struct {
 	Mult int
 }
 
-// Edges returns all distinct undirected edges (U < V) in deterministic order.
+// Edges returns all distinct undirected edges (U < V) in deterministic order
+// (ascending U, then V), read off the frozen CSR view without per-node map
+// walks and sorts.
 func (g *Graph) Edges() []Edge {
-	var out []Edge
-	for u := 0; u < g.n; u++ {
-		ns := g.Neighbors(u)
-		for _, v := range ns {
-			if v > u {
-				out = append(out, Edge{U: u, V: v, Mult: g.adj[u][v]})
+	c := g.Frozen()
+	out := make([]Edge, 0, len(c.neighbor)/2)
+	for u := 0; u < c.n; u++ {
+		lo, hi := c.rowStart[u], c.rowStart[u+1]
+		for k := lo; k < hi; k++ {
+			if v := c.neighbor[k]; int(v) > u {
+				out = append(out, Edge{U: u, V: int(v), Mult: int(c.mult[k])})
 			}
 		}
 	}
@@ -151,25 +169,7 @@ func (g *Graph) IsRegular() (int, bool) {
 
 // Connected reports whether the graph is connected (vacuously true for n<=1).
 func (g *Graph) Connected() bool {
-	if g.n <= 1 {
-		return true
-	}
-	seen := make([]bool, g.n)
-	stack := []int{0}
-	seen[0] = true
-	count := 1
-	for len(stack) > 0 {
-		u := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for v := range g.adj[u] {
-			if !seen[v] {
-				seen[v] = true
-				count++
-				stack = append(stack, v)
-			}
-		}
-	}
-	return count == g.n
+	return g.Frozen().Connected()
 }
 
 // String summarizes the graph.

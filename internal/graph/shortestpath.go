@@ -1,133 +1,74 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
+
+	"beyondft/internal/minheap"
 )
 
 // BFS returns the unweighted hop distances from src to every node.
 // Unreachable nodes get distance -1.
 func (g *Graph) BFS(src int) []int {
-	dist := make([]int, g.n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue := make([]int, 0, g.n)
-	queue = append(queue, src)
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		for v := range g.adj[u] {
-			if dist[v] < 0 {
-				dist[v] = dist[u] + 1
-				queue = append(queue, v)
-			}
-		}
-	}
-	return dist
+	return g.Frozen().BFS(src)
 }
 
-// APSP returns all-pairs unweighted hop distances via repeated BFS.
+// APSP returns all-pairs unweighted hop distances via BFS from every source,
+// fanned across the parallel worker pool (see SetParallelism).
 // dist[u][v] == -1 for unreachable pairs.
 func (g *Graph) APSP() [][]int {
-	dist := make([][]int, g.n)
-	for u := 0; u < g.n; u++ {
-		dist[u] = g.BFS(u)
-	}
-	return dist
+	return g.Frozen().APSP()
+}
+
+// PathStats returns the diameter and mean shortest-path length in a single
+// parallel APSP sweep (callers that want both should prefer this over
+// Diameter + AvgShortestPath, which each sweep once).
+func (g *Graph) PathStats() PathStats {
+	return g.Frozen().PathStats()
 }
 
 // Diameter returns the maximum finite shortest-path distance, or -1 if the
 // graph is disconnected or has fewer than two nodes.
 func (g *Graph) Diameter() int {
-	if g.n < 2 {
-		return -1
-	}
-	diam := 0
-	for u := 0; u < g.n; u++ {
-		d := g.BFS(u)
-		for v, dv := range d {
-			if v == u {
-				continue
-			}
-			if dv < 0 {
-				return -1
-			}
-			if dv > diam {
-				diam = dv
-			}
-		}
-	}
-	return diam
+	return g.Frozen().PathStats().Diameter
 }
 
 // AvgShortestPath returns the mean shortest-path hop count over all ordered
 // node pairs, or NaN if disconnected or fewer than two nodes.
 func (g *Graph) AvgShortestPath() float64 {
-	if g.n < 2 {
-		return math.NaN()
-	}
-	total, pairs := 0, 0
-	for u := 0; u < g.n; u++ {
-		d := g.BFS(u)
-		for v, dv := range d {
-			if v == u {
-				continue
-			}
-			if dv < 0 {
-				return math.NaN()
-			}
-			total += dv
-			pairs++
-		}
-	}
-	return float64(total) / float64(pairs)
+	return g.Frozen().PathStats().Mean
 }
 
 // ShortestPathDAGNextHops returns, for a destination dst, the set of
 // next-hops at every node that lie on some shortest path toward dst.
-// next[u] is nil for u==dst and for unreachable nodes.
+// next[u] is nil for u==dst and for unreachable nodes. Next-hops are in
+// ascending order.
 func (g *Graph) ShortestPathDAGNextHops(dst int) [][]int {
-	dist := g.BFS(dst)
-	next := make([][]int, g.n)
-	for u := 0; u < g.n; u++ {
+	c := g.Frozen()
+	dist := make([]int32, c.n)
+	queue := make([]int32, c.n)
+	c.bfsInto(dst, dist, queue)
+	next := make([][]int, c.n)
+	for u := 0; u < c.n; u++ {
 		if u == dst || dist[u] < 0 {
 			continue
 		}
-		for _, v := range g.Neighbors(u) {
-			if dist[v] == dist[u]-1 {
-				next[u] = append(next[u], v)
+		want := dist[u] - 1
+		for _, v := range c.neighbor[c.rowStart[u]:c.rowStart[u+1]] {
+			if dist[v] == want {
+				next[u] = append(next[u], int(v))
 			}
 		}
 	}
 	return next
 }
 
-// dijkstraItem is a priority-queue entry for Dijkstra.
-type dijkstraItem struct {
-	node int
-	dist float64
-}
-
-type dijkstraHeap []dijkstraItem
-
-func (h dijkstraHeap) Len() int            { return len(h) }
-func (h dijkstraHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h dijkstraHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *dijkstraHeap) Push(x interface{}) { *h = append(*h, x.(dijkstraItem)) }
-func (h *dijkstraHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
 // Dijkstra computes weighted shortest-path distances from src using the
 // per-distinct-edge weights w (w(u,v) must be >= 0; multiplicity does not
 // change the weight — parallel cables share a length). It returns distances
 // and a parent array for path reconstruction (parent[src] == -1; parent of
-// unreachable nodes is -1 and their distance is +Inf).
+// unreachable nodes is -1 and their distance is +Inf). It reads the live
+// adjacency maps (not the frozen view) so mutation-heavy callers like Yen's
+// algorithm do not pay a CSR rebuild per call.
 func (g *Graph) Dijkstra(src int, w func(u, v int) float64) ([]float64, []int) {
 	dist := make([]float64, g.n)
 	parent := make([]int, g.n)
@@ -137,10 +78,11 @@ func (g *Graph) Dijkstra(src int, w func(u, v int) float64) ([]float64, []int) {
 		parent[i] = -1
 	}
 	dist[src] = 0
-	h := &dijkstraHeap{{node: src, dist: 0}}
+	h := make(minheap.Heap, 0, g.n)
+	h.Push(minheap.Item{Node: int32(src), Pri: 0})
 	for h.Len() > 0 {
-		it := heap.Pop(h).(dijkstraItem)
-		u := it.node
+		it := h.Pop()
+		u := int(it.Node)
 		if done[u] {
 			continue
 		}
@@ -153,7 +95,7 @@ func (g *Graph) Dijkstra(src int, w func(u, v int) float64) ([]float64, []int) {
 			if nd < dist[v] {
 				dist[v] = nd
 				parent[v] = u
-				heap.Push(h, dijkstraItem{node: v, dist: nd})
+				h.Push(minheap.Item{Node: int32(v), Pri: nd})
 			}
 		}
 	}

@@ -1,0 +1,72 @@
+// Package minheap provides the hand-rolled binary min-heap shared by the
+// shortest-path kernels in internal/graph and internal/fluid. container/heap
+// would box every item through interface{} on Push/Pop, allocating once per
+// edge relaxation; this implementation keeps items inline in a slice and
+// allocates only when the backing array grows.
+package minheap
+
+// Item is a (node, priority) pair. Node is an index into the caller's graph
+// or arc arrays; Pri is the tentative distance.
+type Item struct {
+	Node int32
+	Pri  float64
+}
+
+// Heap is a binary min-heap ordered by Item.Pri. The zero value is an empty
+// heap ready for use; for hot loops, allocate once with make(Heap, 0, n) and
+// Reset between runs.
+type Heap []Item
+
+// Len returns the number of items in the heap.
+func (h Heap) Len() int { return len(h) }
+
+// Reset empties the heap, keeping the backing array.
+func (h *Heap) Reset() { *h = (*h)[:0] }
+
+// Push adds an item.
+func (h *Heap) Push(it Item) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].Pri <= it.Pri {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = it
+}
+
+// Pop removes and returns the minimum-priority item. It panics on an empty
+// heap (callers loop on Len() > 0).
+func (h *Heap) Pop() Item {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	moved := s[last]
+	s = s[:last]
+	*h = s
+	if last == 0 {
+		return top
+	}
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && s[r].Pri < s[l].Pri {
+			m = r
+		}
+		if moved.Pri <= s[m].Pri {
+			break
+		}
+		s[i] = s[m]
+		i = m
+	}
+	s[i] = moved
+	return top
+}

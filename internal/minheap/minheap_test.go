@@ -1,0 +1,65 @@
+package minheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHeapSortsRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		var h Heap
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			p := rng.NormFloat64()
+			want[i] = p
+			h.Push(Item{Node: int32(i), Pri: p})
+		}
+		sort.Float64s(want)
+		for i := 0; i < n; i++ {
+			got := h.Pop()
+			if got.Pri != want[i] {
+				t.Fatalf("trial %d: pop %d = %v, want %v", trial, i, got.Pri, want[i])
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("heap not empty after draining: %d", h.Len())
+		}
+	}
+}
+
+func TestHeapResetKeepsCapacity(t *testing.T) {
+	h := make(Heap, 0, 16)
+	for i := 0; i < 10; i++ {
+		h.Push(Item{Node: int32(i), Pri: float64(i)})
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("len after reset = %d", h.Len())
+	}
+	if cap(h) < 10 {
+		t.Fatalf("reset dropped capacity: %d", cap(h))
+	}
+	h.Push(Item{Node: 3, Pri: 3})
+	if got := h.Pop(); got.Node != 3 {
+		t.Fatalf("pop after reset = %+v", got)
+	}
+}
+
+func TestHeapDuplicatePriorities(t *testing.T) {
+	var h Heap
+	for i := 0; i < 8; i++ {
+		h.Push(Item{Node: int32(i), Pri: 1.0})
+	}
+	h.Push(Item{Node: 99, Pri: 0.5})
+	if got := h.Pop(); got.Node != 99 {
+		t.Fatalf("min not popped first: %+v", got)
+	}
+	for i := 0; i < 8; i++ {
+		if got := h.Pop(); got.Pri != 1.0 {
+			t.Fatalf("bad pri %v", got.Pri)
+		}
+	}
+}

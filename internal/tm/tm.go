@@ -141,14 +141,17 @@ func RandomDerangement(racks []int, serversOf func(int) int, rng *rand.Rand) *TM
 // LongestMatching builds the near-worst-case TM of §5: participating racks
 // are matched pairwise so as to maximize total shortest-path distance
 // between partners (greedy + 2-opt maximum-weight matching on distances),
-// and each pair exchanges serversPerRack demand in both directions.
+// and each pair exchanges serversPerRack demand in both directions. The
+// per-rack BFS fans out across graph.Parallelism() workers on the frozen
+// CSR view; the result is identical at any worker count.
 func LongestMatching(g *graph.Graph, racks []int, serversOf func(int) int) *TM {
-	dists := make(map[int][]int, len(racks))
-	for _, r := range racks {
-		dists[r] = g.BFS(r)
+	rows := g.Frozen().BFSMany(racks)
+	rowOf := make(map[int][]int, len(racks))
+	for i, r := range racks {
+		rowOf[r] = rows[i]
 	}
 	pairs := graph.MaxWeightMatching(racks, func(a, b int) float64 {
-		return float64(dists[a][b])
+		return float64(rowOf[a][b])
 	})
 	m := &TM{Name: fmt.Sprintf("longest-matching-%d", len(racks))}
 	for _, p := range pairs {

@@ -1,8 +1,10 @@
 package tm
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -190,5 +192,41 @@ func TestHeterogeneousServerCounts(t *testing.T) {
 	}
 	if err := m.ValidateHose(serversOf); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLongestMatchingDeterministicAcrossWorkers asserts the parallel
+// per-rack BFS fan-out inside LongestMatching yields a byte-identical TM at
+// worker counts 1, 2, and NumCPU.
+func TestLongestMatchingDeterministicAcrossWorkers(t *testing.T) {
+	defer graph.SetParallelism(0)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		n := 20 + rng.Intn(60)
+		g := ringGraph(n)
+		// Chords make shortest paths (and hence matching weights) less trivial.
+		for i := 0; i < n/2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		var racks []int
+		for r := 0; r < n; r += 2 {
+			racks = append(racks, r)
+		}
+		var want string
+		for _, w := range []int{1, 2, runtime.NumCPU()} {
+			graph.SetParallelism(w)
+			m := LongestMatching(g, racks, Uniform(4))
+			got := fmt.Sprintf("%v", m)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("trial %d: TM differs at %d workers:\n got %s\nwant %s", trial, w, got, want)
+			}
+		}
 	}
 }
