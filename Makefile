@@ -1,20 +1,22 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race vet bench bench-all bench-smoke figures figures-full run examples clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke serve-smoke figures figures-full run examples clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: vet bench-smoke
+test: vet bench-smoke serve-smoke
 	go test ./...
 
-# The harness, the experiment drivers, and the parallel graph/flow kernels
-# are the concurrent paths: run them under the race detector.
+# The harness, the experiment drivers, the serving core, and the parallel
+# graph/flow kernels are the concurrent paths: run them under the race
+# detector.
 test-race:
 	go test -race ./internal/harness/... ./internal/experiments/... \
-		./internal/graph/... ./internal/fluid/... ./internal/tm/...
+		./internal/graph/... ./internal/fluid/... ./internal/tm/... \
+		./internal/serve/...
 
 vet:
 	go vet ./...
@@ -22,18 +24,42 @@ vet:
 # Tracked perf-trajectory benchmarks (see README "Benchmark trajectory"):
 # fixed -benchtime/-count so BENCH_pr<N>.json files are comparable across
 # PRs. Append new kernels to BENCH_PATTERN as they land.
-BENCH_PATTERN := BenchmarkAPSP|BenchmarkPathStats|BenchmarkBFS|BenchmarkDijkstra|BenchmarkLongestMatching|BenchmarkMaxConcurrentFlow|BenchmarkGKMaxConcurrentFlow
-BENCH_OUT := BENCH_pr2.json
+BENCH_PATTERN := BenchmarkAPSP|BenchmarkPathStats|BenchmarkBFS|BenchmarkDijkstra|BenchmarkLongestMatching|BenchmarkMaxConcurrentFlow|BenchmarkGKMaxConcurrentFlow|BenchmarkServeThroughputCached
+BENCH_OUT := BENCH_pr3.json
 bench:
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -count 3 -benchmem -timeout 0 \
-		./internal/graph ./internal/fluid ./internal/tm . \
+		./internal/graph ./internal/fluid ./internal/tm ./internal/serve . \
 		| go run ./cmd/benchjson -o $(BENCH_OUT)
 
 # One iteration of the tracked benchmarks, wired into `make test` so they
 # cannot bit-rot between perf PRs.
 bench-smoke:
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x \
-		./internal/graph ./internal/fluid ./internal/tm .
+		./internal/graph ./internal/fluid ./internal/tm ./internal/serve .
+
+# End-to-end smoke of the query daemon (see DESIGN.md §8): boot it on a
+# free port, probe it exactly like a client would (curl /healthz and one
+# /v1/throughput), and check SIGTERM drains cleanly. Wired into `make test`.
+SMOKE_DIR := .serve-smoke
+serve-smoke:
+	@rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
+	@go build -o $(SMOKE_DIR)/beyondftd ./cmd/beyondftd
+	@$(SMOKE_DIR)/beyondftd -addr 127.0.0.1:0 -cache $(SMOKE_DIR)/cache \
+		-out $(SMOKE_DIR)/runs -port-file $(SMOKE_DIR)/port 2> $(SMOKE_DIR)/log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $(SMOKE_DIR)/port ] && break; sleep 0.1; done; \
+	[ -s $(SMOKE_DIR)/port ] || { echo "serve-smoke: daemon never bound"; cat $(SMOKE_DIR)/log; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat $(SMOKE_DIR)/port); \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' "http://$$addr/healthz"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: GET /healthz -> $$code"; kill $$pid; exit 1; }; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$$addr/v1/throughput" \
+		-d '{"topo":{"kind":"jellyfish","n":24,"degree":5,"servers":4},"tm":"permutation","x":0.5}'); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: POST /v1/throughput -> $$code"; kill $$pid; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "serve-smoke: daemon exited non-zero"; cat $(SMOKE_DIR)/log; exit 1; }; \
+	grep -q 'drained cleanly' $(SMOKE_DIR)/log || { echo "serve-smoke: no clean drain"; cat $(SMOKE_DIR)/log; exit 1; }; \
+	echo "serve-smoke: ok ($$addr: /healthz 200, /v1/throughput 200, clean drain)"; \
+	rm -rf $(SMOKE_DIR)
 
 # Everything: one benchmark per paper table/figure plus micro/ablation
 # benches. Set BEYONDFT_PRINT=1 to also print the regenerated rows.

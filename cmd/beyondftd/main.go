@@ -1,0 +1,147 @@
+// Command beyondftd is the topology-analysis query daemon: it serves the
+// experiment registry and ad-hoc what-if queries (fluid-model throughput,
+// path statistics) over a JSON HTTP API, with two-tier result caching,
+// request coalescing, bounded admission and first-class metrics (see
+// DESIGN.md §8).
+//
+//	beyondftd -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/throughput \
+//	     -d '{"topo":{"kind":"xpander","degree":10,"lift":12,"servers":6},"tm":"permutation","x":0.4}'
+//	curl -s -X POST localhost:8080/v1/jobs/fig2/run -d '{}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain in-flight requests (bounded by -drain) and flush a
+// final manifest.json into -out before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"beyondft/internal/experiments"
+	"beyondft/internal/graph"
+	"beyondft/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	cacheDir := flag.String("cache", ".harness-cache", "L2 result cache directory, shared with `runner run` (empty disables)")
+	l1Bytes := flag.Int64("l1-bytes", 64<<20, "in-memory L1 cache budget in bytes (0 disables)")
+	l2MaxBytes := flag.Int64("l2-max-bytes", 0, "prune the disk cache under this many bytes (0 = unlimited)")
+	computeWorkers := flag.Int("compute", runtime.GOMAXPROCS(0), "max concurrent computes (admission worker pool)")
+	queueDepth := flag.Int("queue", 2*runtime.GOMAXPROCS(0), "admission queue depth; overflow is rejected with 429")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request compute deadline (0 = none)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight requests")
+	outDir := flag.String("out", "runs/serve", "directory for the final manifest.json (empty disables)")
+	workers := flag.Int("workers", graph.EnvParallelism(),
+		"parallel kernel workers per compute, 0 = GOMAXPROCS (default $"+graph.WorkersEnv+")")
+	full := flag.Bool("full", false, "paper-scale experiment configuration (slow)")
+	seed := flag.Int64("seed", 1, "base random seed for the experiment registry")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	portFile := flag.String("port-file", "", "write the bound address to this file once listening (for scripts)")
+	smoke := flag.Bool("smoke", false, "self-check: boot, probe /healthz and /v1/throughput, drain, exit")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "beyondftd: ", log.LstdFlags|log.Lmsgprefix)
+	graph.SetParallelism(*workers)
+
+	cfg := experiments.DefaultConfig()
+	if *full {
+		cfg = experiments.PaperConfig()
+	}
+	cfg.Seed = *seed
+
+	s, err := serve.New(serve.Config{
+		Experiments:    cfg,
+		CacheDir:       *cacheDir,
+		L1Bytes:        *l1Bytes,
+		L2MaxBytes:     *l2MaxBytes,
+		Workers:        *computeWorkers,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *timeout,
+		OutDir:         *outDir,
+		EnablePprof:    *pprofFlag,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if err := s.Start(*addr); err != nil {
+		logger.Fatal(err)
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(s.Addr()+"\n"), 0o644); err != nil {
+			logger.Fatal(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *smoke {
+		if err := smokeCheck(s.Addr(), logger); err != nil {
+			logger.Printf("smoke: FAIL: %v", err)
+			shutdown(s, *drain, logger)
+			os.Exit(1)
+		}
+		logger.Printf("smoke: ok")
+		stop()
+	} else {
+		<-ctx.Done()
+		logger.Printf("signal received; draining (budget %s)", *drain)
+	}
+	if err := shutdown(s, *drain, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// shutdown drains in-flight requests within the budget and flushes the
+// final manifest.
+func shutdown(s *serve.Server, drain time.Duration, logger *log.Logger) error {
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}
+
+// smokeCheck is `make serve-smoke`'s payload: the curl-equivalent probes
+// (GET /healthz, one POST /v1/throughput) against the just-booted daemon,
+// asserting 200s.
+func smokeCheck(addr string, logger *log.Logger) error {
+	client := &http.Client{Timeout: 60 * time.Second}
+	base := "http://" + addr
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /healthz: status %d", resp.StatusCode)
+	}
+	logger.Printf("smoke: GET /healthz -> %d", resp.StatusCode)
+
+	body := `{"topo":{"kind":"jellyfish","n":24,"degree":5,"servers":4},"tm":"permutation","x":0.5}`
+	resp, err = client.Post(base+"/v1/throughput", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/throughput: status %d", resp.StatusCode)
+	}
+	logger.Printf("smoke: POST /v1/throughput -> %d", resp.StatusCode)
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 
+	"beyondft/internal/graph"
 	"beyondft/internal/netsim"
 	"beyondft/internal/sim"
 	"beyondft/internal/topology"
@@ -41,8 +42,11 @@ func main() {
 	nosrv := flag.Bool("ignore-server-links", false, "model server links as unconstrained")
 	flowLog := flag.String("flowlog", "", "write per-flow records (CSV) to this file")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", graph.EnvParallelism(),
+		"parallel kernel workers (topology/routing precompute), 0 = GOMAXPROCS (default $"+graph.WorkersEnv+")")
 	flag.Parse()
 
+	graph.SetParallelism(*workers)
 	rng := rand.New(rand.NewSource(*seed))
 	var t *topology.Topology
 	switch *kind {

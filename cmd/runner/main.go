@@ -78,6 +78,9 @@ commands:
   status   summarize a previous run
            -out DIR     run directory to read (default %s)
            -cache DIR   cache to report stats for (default %s)
+           -prune-max-bytes N
+                        evict oldest cache entries until the cache fits in
+                        N bytes, logging each eviction (-1 = don't prune)
 `, defaultCacheDir, defaultOutDir, defaultOutDir, defaultCacheDir)
 }
 
@@ -169,6 +172,7 @@ func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	outDir := fs.String("out", defaultOutDir, "run directory to read")
 	cacheDir := fs.String("cache", defaultCacheDir, "cache directory to report stats for")
+	prune := fs.Int64("prune-max-bytes", -1, "prune the cache down to this many bytes, oldest entries first (-1 = don't prune)")
 	fs.Parse(args)
 
 	m, err := harness.ReadManifest(*outDir)
@@ -201,10 +205,29 @@ func cmdStatus(args []string) error {
 			state, len(jr.Artifacts))
 	}
 
-	if c, err := harness.OpenCache(*cacheDir); err == nil {
-		if n, bytes, err := c.Stats(); err == nil {
-			fmt.Printf("  cache %s: %d entries, %.1f KiB\n", *cacheDir, n, float64(bytes)/1024)
+	c, err := harness.OpenCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	n, bytes, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	avg := int64(0)
+	if n > 0 {
+		avg = bytes / int64(n)
+	}
+	fmt.Printf("  cache %s: %d entries, %.1f KiB (avg %d B/entry)\n",
+		*cacheDir, n, float64(bytes)/1024, avg)
+
+	if *prune >= 0 {
+		logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+		evicted, freed, err := c.Prune(*prune, logf)
+		if err != nil {
+			return err
 		}
+		fmt.Printf("  pruned to %d bytes: evicted %d entries, freed %.1f KiB\n",
+			*prune, evicted, float64(freed)/1024)
 	}
 	return nil
 }

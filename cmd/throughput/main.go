@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"beyondft/internal/fluid"
+	"beyondft/internal/graph"
 	"beyondft/internal/tm"
 	"beyondft/internal/topology"
 	"beyondft/internal/workload"
@@ -35,8 +36,11 @@ func main() {
 	exact := flag.Bool("exact", false, "use the exact LP (small instances only)")
 	delta := flag.Float64("delta", 1.5, "flexible-port cost premium")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", graph.EnvParallelism(),
+		"parallel kernel workers, 0 = GOMAXPROCS (default $"+graph.WorkersEnv+")")
 	flag.Parse()
 
+	graph.SetParallelism(*workers)
 	rng := rand.New(rand.NewSource(*seed))
 	var t *topology.Topology
 	switch *kind {
@@ -89,7 +93,8 @@ func main() {
 		fmt.Printf("throughput/server (exact LP): %.4f\n", v)
 	} else {
 		nw := fluid.NewNetwork(t.G, 1.0)
-		res := fluid.MaxConcurrentFlow(nw, fluid.Commodities(m), fluid.GKOptions{Epsilon: *eps})
+		res := fluid.MaxConcurrentFlow(nw, fluid.Commodities(m),
+			fluid.GKOptions{Epsilon: *eps, Workers: graph.Parallelism()})
 		thr := res.Throughput
 		if thr > 1 {
 			thr = 1

@@ -29,13 +29,21 @@ type JobResult struct {
 	Figures []*Figure `json:"figures"`
 }
 
-// decodeJobResult rebuilds a JobResult from its cached encoding.
-func decodeJobResult(data []byte) (any, error) {
+// DecodeJobResult rebuilds a JobResult from its JSON encoding — the exact
+// inverse of the encoding the harness caches and the serving daemon
+// returns over HTTP, so clients of either can round-trip results
+// losslessly.
+func DecodeJobResult(data []byte) (*JobResult, error) {
 	var jr JobResult
 	if err := json.Unmarshal(data, &jr); err != nil {
 		return nil, err
 	}
 	return &jr, nil
+}
+
+// decodeJobResult adapts DecodeJobResult to harness.Job.Decode.
+func decodeJobResult(data []byte) (any, error) {
+	return DecodeJobResult(data)
 }
 
 // writeFigureCSVs renders every figure of a result as <dir>/<figureID>.csv.

@@ -111,6 +111,47 @@ func TestRegistryCoversAllDrivers(t *testing.T) {
 	}
 }
 
+// TestDecodeJobResultRoundTrip pins the exported decode path the serving
+// daemon depends on: a driver's result survives encode → DecodeJobResult →
+// encode byte-identically, and garbage is rejected rather than decoded
+// into an empty result.
+func TestDecodeJobResultRoundTrip(t *testing.T) {
+	reg := DefaultConfig().Registry()
+	job, ok := reg.Lookup("table1")
+	if !ok {
+		t.Fatal("table1 not registered")
+	}
+	v, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jr, err := DecodeJobResult(data)
+	if err != nil {
+		t.Fatalf("DecodeJobResult: %v", err)
+	}
+	if len(jr.Figures) == 0 || jr.Figures[0].ID == "" {
+		t.Fatalf("decoded result lost its figures: %+v", jr)
+	}
+	again, err := json.Marshal(jr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("round-trip not byte-identical:\n%s\nvs\n%s", data, again)
+	}
+
+	for _, bad := range []string{``, `]`, `{"figures":[{"id":1}]}`} {
+		if _, err := DecodeJobResult([]byte(bad)); err == nil {
+			t.Errorf("DecodeJobResult(%q) accepted garbage", bad)
+		}
+	}
+}
+
 // TestHarnessGoldenPath runs a small figure twice through the harness —
 // cold, then against the populated cache — and asserts the cache hit is
 // recorded in the manifest and the CSV artifacts are byte-identical.

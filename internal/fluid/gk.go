@@ -1,6 +1,7 @@
 package fluid
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -21,6 +22,13 @@ type GKOptions struct {
 	// read-only on the length function within the phase). 0 means
 	// GOMAXPROCS. The result is identical at any worker count.
 	Workers int
+	// Ctx, if non-nil, is polled at every phase boundary: once it is done
+	// the solver stops routing and returns the (still feasible, possibly
+	// far-from-optimal) flow accumulated so far. Callers that need to
+	// distinguish "converged" from "canceled" check Ctx.Err() after the
+	// call — the serving daemon uses this to propagate per-request
+	// deadlines and client disconnects into long solves.
+	Ctx context.Context
 }
 
 // GKResult reports the solve outcome.
@@ -112,6 +120,9 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 	parent := make([]int32, nw.N)
 	phases := 0
 	for D < 1 && phases < maxPhases {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			break // canceled: fall through to the primal value routed so far
+		}
 		phases++
 		if gkDebugCheckD != nil {
 			rescan := 0.0

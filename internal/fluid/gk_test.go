@@ -1,6 +1,7 @@
 package fluid
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -148,5 +149,44 @@ func TestThroughputSanityAfterHotPathRewrite(t *testing.T) {
 	res := MaxConcurrentFlow(nw, comms, GKOptions{Epsilon: 0.03})
 	if res.Throughput > exact+1e-6 || res.Throughput < 0.9*exact {
 		t.Fatalf("GK %.5f vs exact %.5f outside [0.9·exact, exact]", res.Throughput, exact)
+	}
+}
+
+// TestGKContextCancellation checks the serving-path contract: a canceled
+// context stops the solver at the next phase boundary, and the partial
+// result it returns is still a feasible lower bound on the converged one.
+func TestGKContextCancellation(t *testing.T) {
+	nw, comms := gkTestInstance(21)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the first phase: solver must route nothing
+	res := MaxConcurrentFlow(nw, comms, GKOptions{Epsilon: 0.05, Ctx: ctx})
+	if res.Phases != 0 || res.Throughput != 0 {
+		t.Fatalf("pre-canceled solve ran: %+v", res)
+	}
+
+	// Cancel mid-solve (from the debug hook, which fires once per phase):
+	// the solver stops early and its partial primal never exceeds the
+	// converged run's certified optimum bound.
+	full := MaxConcurrentFlow(nw, comms, GKOptions{Epsilon: 0.05})
+	if full.Phases < 4 {
+		t.Skipf("instance converged in %d phases; too fast to cancel mid-solve", full.Phases)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	fired := 0
+	gkDebugCheckD = func(incremental, rescan float64) {
+		fired++
+		if fired == 2 {
+			cancel2()
+		}
+	}
+	defer func() { gkDebugCheckD = nil }()
+	partial := MaxConcurrentFlow(nw, comms, GKOptions{Epsilon: 0.05, Ctx: ctx2})
+	if partial.Phases != 2 {
+		t.Fatalf("canceled after 2 phases, solver ran %d", partial.Phases)
+	}
+	if partial.Throughput > full.UpperBound+1e-9 {
+		t.Fatalf("partial %.6f exceeds dual bound %.6f", partial.Throughput, full.UpperBound)
 	}
 }

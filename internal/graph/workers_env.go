@@ -1,0 +1,23 @@
+package graph
+
+import (
+	"os"
+	"strconv"
+)
+
+// WorkersEnv is the environment variable read by EnvParallelism — the one
+// worker-count knob shared by the CLIs (cmd/throughput -workers,
+// cmd/pktsim -workers) and the serving daemon (beyondftd -workers).
+const WorkersEnv = "BEYONDFT_WORKERS"
+
+// EnvParallelism returns the default for -workers flags: $BEYONDFT_WORKERS
+// if it parses as a positive integer, else 0, which SetParallelism treats
+// as GOMAXPROCS.
+func EnvParallelism() int {
+	if v := os.Getenv(WorkersEnv); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}

@@ -10,6 +10,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 )
@@ -111,6 +112,72 @@ func (c *Cache) Put(key string, e Entry) error {
 		return fmt.Errorf("harness: cache write: %w", err)
 	}
 	return nil
+}
+
+// Prune evicts entries, oldest modification time first, until the cache's
+// total size is at most maxBytes, and reports how many entries and bytes it
+// removed. Content-addressed entries are pure function results, so eviction
+// is always safe — a pruned entry just recomputes on next use. If logf is
+// non-nil it receives one line per evicted entry plus a summary (the daemon
+// and `runner status -prune` pass their loggers so operators can see what a
+// byte budget actually costs). maxBytes < 0 means no limit (no-op).
+func (c *Cache) Prune(maxBytes int64, logf func(format string, args ...any)) (evicted int, freed int64, err error) {
+	if maxBytes < 0 {
+		return 0, 0, nil
+	}
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("harness: cache prune: %w", err)
+	}
+	type entry struct {
+		name    string
+		size    int64
+		modTime time.Time
+	}
+	var entries []entry
+	var total int64
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent delete: skip
+		}
+		entries = append(entries, entry{de.Name(), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].modTime.Equal(entries[j].modTime) {
+			return entries[i].modTime.Before(entries[j].modTime)
+		}
+		return entries[i].name < entries[j].name
+	})
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(filepath.Join(c.dir, e.name)); err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				total -= e.size // someone else removed it: still freed
+				continue
+			}
+			return evicted, freed, fmt.Errorf("harness: cache prune: %w", err)
+		}
+		total -= e.size
+		freed += e.size
+		evicted++
+		if logf != nil {
+			logf("harness: prune evict key=%s bytes=%d age=%s",
+				strings.TrimSuffix(e.name, ".json"),
+				e.size, time.Since(e.modTime).Round(time.Second))
+		}
+	}
+	if logf != nil && evicted > 0 {
+		logf("harness: prune done evicted=%d freed=%d remaining_bytes=%d budget=%d",
+			evicted, freed, total, maxBytes)
+	}
+	return evicted, freed, nil
 }
 
 // Stats reports the number of entries and their total size in bytes.

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// LRU is an in-memory, byte-budgeted, least-recently-used cache of encoded
+// job results. It is the L1 tier the serving daemon puts in front of the
+// on-disk Cache (L2): lookups cost one map probe instead of a file read,
+// and the byte budget bounds resident memory no matter how many distinct
+// queries a long-running process serves. Safe for concurrent use.
+type LRU struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	order    *list.List // front = most recently used; values are *lruEntry
+	items    map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type lruEntry struct {
+	key  string
+	data json.RawMessage
+}
+
+// NewLRU returns an LRU holding at most maxBytes of result payload
+// (key bytes count toward the budget too, so a flood of tiny entries cannot
+// grow the map unboundedly). maxBytes <= 0 disables the cache: Get always
+// misses and Put is a no-op.
+func NewLRU(maxBytes int64) *LRU {
+	return &LRU{
+		maxBytes: maxBytes,
+		order:    list.New(),
+		items:    map[string]*list.Element{},
+	}
+}
+
+// entrySize is the budget charge for one entry.
+func entrySize(key string, data json.RawMessage) int64 {
+	return int64(len(key) + len(data))
+}
+
+// Get returns the cached encoding for key and marks it most recently used.
+// The returned slice is shared: callers must not mutate it.
+func (l *LRU) Get(key string) (json.RawMessage, bool) {
+	if l == nil || l.maxBytes <= 0 {
+		return nil, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		l.misses++
+		return nil, false
+	}
+	l.order.MoveToFront(el)
+	l.hits++
+	return el.Value.(*lruEntry).data, true
+}
+
+// Put stores data under key (replacing any previous entry) and evicts
+// least-recently-used entries until the cache fits its byte budget. An
+// entry larger than the whole budget is not stored at all.
+func (l *LRU) Put(key string, data json.RawMessage) {
+	if l == nil || l.maxBytes <= 0 {
+		return
+	}
+	size := entrySize(key, data)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		l.bytes += size - entrySize(e.key, e.data)
+		e.data = data
+		l.order.MoveToFront(el)
+	} else {
+		if size > l.maxBytes {
+			return
+		}
+		l.items[key] = l.order.PushFront(&lruEntry{key: key, data: data})
+		l.bytes += size
+	}
+	for l.bytes > l.maxBytes {
+		back := l.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*lruEntry)
+		l.order.Remove(back)
+		delete(l.items, e.key)
+		l.bytes -= entrySize(e.key, e.data)
+		l.evictions++
+	}
+}
+
+// LRUStats is a point-in-time snapshot of the cache.
+type LRUStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats reports entry/byte occupancy and lifetime hit/miss/eviction counts.
+func (l *LRU) Stats() LRUStats {
+	if l == nil {
+		return LRUStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LRUStats{
+		Entries:   len(l.items),
+		Bytes:     l.bytes,
+		MaxBytes:  l.maxBytes,
+		Hits:      l.hits,
+		Misses:    l.misses,
+		Evictions: l.evictions,
+	}
+}

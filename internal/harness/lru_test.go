@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLRUBasicAndRecency(t *testing.T) {
+	l := NewLRU(1 << 20)
+	if _, ok := l.Get("missing"); ok {
+		t.Fatalf("hit on empty cache")
+	}
+	l.Put("a", json.RawMessage(`{"v":1}`))
+	l.Put("b", json.RawMessage(`{"v":2}`))
+	got, ok := l.Get("a")
+	if !ok || string(got) != `{"v":1}` {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	// Replacement keeps one entry and updates the payload.
+	l.Put("a", json.RawMessage(`{"v":3}`))
+	got, _ = l.Get("a")
+	if string(got) != `{"v":3}` {
+		t.Fatalf("after replace Get(a) = %q", got)
+	}
+	st := l.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+}
+
+func TestLRUByteBudgetEvictsLeastRecentlyUsed(t *testing.T) {
+	payload := strings.Repeat("x", 96) // with the 4-byte keys: 100 bytes/entry
+	l := NewLRU(300)
+	for i := 0; i < 3; i++ {
+		l.Put(fmt.Sprintf("k%02d", i)+"!", json.RawMessage(payload))
+	}
+	if st := l.Stats(); st.Entries != 3 || st.Bytes != 300 {
+		t.Fatalf("full cache stats = %+v", st)
+	}
+	// Touch k00 so k01 becomes the LRU victim.
+	if _, ok := l.Get("k00!"); !ok {
+		t.Fatalf("k00 missing before eviction")
+	}
+	l.Put("k03!", json.RawMessage(payload))
+	if _, ok := l.Get("k01!"); ok {
+		t.Fatalf("k01 not evicted")
+	}
+	for _, k := range []string{"k00!", "k02!", "k03!"} {
+		if _, ok := l.Get(k); !ok {
+			t.Fatalf("%s evicted, want resident", k)
+		}
+	}
+	st := l.Stats()
+	if st.Evictions != 1 || st.Bytes != 300 {
+		t.Fatalf("stats after eviction = %+v", st)
+	}
+	// An entry bigger than the whole budget is refused outright.
+	l.Put("huge", json.RawMessage(strings.Repeat("y", 301)))
+	if _, ok := l.Get("huge"); ok {
+		t.Fatalf("over-budget entry stored")
+	}
+}
+
+func TestLRUDisabledAndNil(t *testing.T) {
+	var nilLRU *LRU
+	nilLRU.Put("k", json.RawMessage("1"))
+	if _, ok := nilLRU.Get("k"); ok {
+		t.Fatalf("nil LRU hit")
+	}
+	off := NewLRU(0)
+	off.Put("k", json.RawMessage("1"))
+	if _, ok := off.Get("k"); ok {
+		t.Fatalf("disabled LRU stored an entry")
+	}
+}
+
+// TestLRUConcurrent hammers the cache from many goroutines; the race
+// detector (make test-race) is the real assertion.
+func TestLRUConcurrent(t *testing.T) {
+	l := NewLRU(4 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%32)
+				l.Put(k, json.RawMessage(fmt.Sprintf(`{"g":%d,"i":%d}`, g, i)))
+				l.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := l.Stats(); st.Bytes > 4<<10 {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+}
+
+func TestCachePruneEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = Key(fmt.Sprintf("job%d", i), "{}", "salt")
+		if err := c.Put(keys[i], Entry{Job: fmt.Sprintf("job%d", i), Result: json.RawMessage(`{"n":1}`)}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		// Stamp strictly increasing mtimes so "oldest first" is deterministic
+		// regardless of filesystem timestamp granularity.
+		mt := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(c.path(keys[i]), mt, mt); err != nil {
+			t.Fatalf("chtimes: %v", err)
+		}
+	}
+	_, total, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	perEntry := total / 4
+
+	var logged []string
+	logf := func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	evicted, freed, err := c.Prune(total-perEntry-1, logf) // forces out two entries
+	if err != nil {
+		t.Fatalf("prune: %v", err)
+	}
+	if evicted != 2 || freed != 2*perEntry {
+		t.Fatalf("evicted=%d freed=%d, want 2, %d", evicted, freed, 2*perEntry)
+	}
+	// The two oldest are gone, the two newest survive.
+	for i, k := range keys {
+		_, hit, err := c.Get(k)
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if want := i >= 2; hit != want {
+			t.Fatalf("entry %d: hit=%v, want %v", i, hit, want)
+		}
+	}
+	// Eviction log names the evicted keys plus a summary line.
+	if len(logged) != 3 {
+		t.Fatalf("logged %d lines, want 3: %q", len(logged), logged)
+	}
+	for i, k := range keys[:2] {
+		if !strings.Contains(logged[i], k) {
+			t.Fatalf("log line %d = %q, want key %s", i, logged[i], k)
+		}
+	}
+	if !strings.Contains(logged[2], "evicted=2") {
+		t.Fatalf("summary line = %q", logged[2])
+	}
+
+	// Already under budget: no-op, nothing logged.
+	logged = nil
+	if evicted, freed, err = c.Prune(total, logf); err != nil || evicted != 0 || freed != 0 {
+		t.Fatalf("prune under budget: evicted=%d freed=%d err=%v", evicted, freed, err)
+	}
+	if len(logged) != 0 {
+		t.Fatalf("no-op prune logged %q", logged)
+	}
+	// Negative budget means "no limit".
+	if evicted, _, err = c.Prune(-1, nil); err != nil || evicted != 0 {
+		t.Fatalf("prune(-1): evicted=%d err=%v", evicted, err)
+	}
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated is returned by admission.acquire when every compute slot is
+// busy and the wait queue is full; handlers translate it into 429 with a
+// Retry-After header.
+var errSaturated = errors.New("serve: compute capacity saturated")
+
+// admission bounds the computes in flight: a fixed pool of worker slots
+// (buffered channel) plus a fixed-depth wait queue. Cache hits and
+// coalesced requests never pass through here — only singleflight leaders
+// that actually have to compute — so saturation means the machine is
+// genuinely out of compute, not merely popular.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{slots: make(chan struct{}, workers), maxQueue: int64(queueDepth)}
+}
+
+// acquire takes a compute slot, waiting in the bounded queue if all slots
+// are busy. It fails fast with errSaturated when the queue is full, and
+// with ctx.Err() if the caller's deadline expires while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return errSaturated
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot taken by acquire.
+func (a *admission) release() { <-a.slots }

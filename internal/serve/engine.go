@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"beyondft/internal/harness"
+)
+
+// Source says where a response's bytes came from.
+type Source string
+
+const (
+	// SourceL1 — in-memory LRU hit.
+	SourceL1 Source = "l1"
+	// SourceL2 — on-disk content-addressed cache hit (promoted into L1).
+	SourceL2 Source = "l2"
+	// SourceComputed — computed fresh by this request (and stored in both tiers).
+	SourceComputed Source = "computed"
+	// SourceCoalesced — served by joining an identical concurrent request's
+	// compute.
+	SourceCoalesced Source = "coalesced"
+)
+
+// l2PruneEvery is how many fresh results land in the disk tier between
+// byte-budget prunes. Pruning walks the cache directory, so doing it on
+// every put would make the write path O(entries); amortizing over a batch
+// keeps overshoot bounded by ~l2PruneEvery entries.
+const l2PruneEvery = 64
+
+// Engine is the serving core: a two-tier result cache (in-memory LRU over
+// the harness's on-disk content-addressed cache) behind a singleflight
+// group, with bounded admission in front of actual computation.
+//
+// The request path, cheapest to most expensive:
+//
+//	L1 (lock + map probe)
+//	→ singleflight join (identical concurrent requests compute once)
+//	→ L2 (one file read; hit repopulates L1)
+//	→ admission (worker slots + bounded queue; overflow → errSaturated)
+//	→ compute (stores into L2 then L1)
+//
+// Every tier is optional: a nil L2 serves from memory only, an L1 budget of
+// zero disables memory caching, and the zero admission config still bounds
+// computes to one at a time.
+type Engine struct {
+	l1         *harness.LRU
+	l2         *harness.Cache
+	l2MaxBytes int64
+	adm        *admission
+	flights    flightGroup
+	metrics    *Metrics
+	logf       func(format string, args ...any)
+
+	l2Puts atomic.Int64
+
+	// computeStarted, when non-nil (tests only), runs in the leader
+	// goroutine after admission granted a slot and before compute begins.
+	// The coalescing / saturation / drain tests use it to hold a compute
+	// open at a known point.
+	computeStarted func(key string)
+}
+
+// EngineConfig configures an Engine.
+type EngineConfig struct {
+	// L1Bytes is the in-memory LRU budget; <= 0 disables the memory tier.
+	L1Bytes int64
+	// L2, if non-nil, is the on-disk tier shared with the batch harness —
+	// a daemon and `runner run` pointed at the same directory see each
+	// other's results.
+	L2 *harness.Cache
+	// L2MaxBytes, if > 0, prunes the disk tier (oldest entries first) back
+	// under this budget every l2PruneEvery stores.
+	L2MaxBytes int64
+	// Workers bounds concurrent computes; <= 0 means 1.
+	Workers int
+	// QueueDepth bounds requests waiting for a compute slot; beyond it,
+	// acquire fails fast with errSaturated.
+	QueueDepth int
+	// Metrics receives counters; nil allocates a private set.
+	Metrics *Metrics
+	// Logf, if non-nil, receives prune/corruption diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// NewEngine builds the serving core.
+func NewEngine(cfg EngineConfig) *Engine {
+	m := cfg.Metrics
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &Engine{
+		l1:         harness.NewLRU(cfg.L1Bytes),
+		l2:         cfg.L2,
+		l2MaxBytes: cfg.L2MaxBytes,
+		adm:        newAdmission(cfg.Workers, cfg.QueueDepth),
+		metrics:    m,
+		logf:       cfg.Logf,
+	}
+}
+
+// Metrics returns the engine's metrics set (shared with the server).
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// L1Stats exposes the memory tier's occupancy for /healthz.
+func (e *Engine) L1Stats() harness.LRUStats { return e.l1.Stats() }
+
+// Do returns the encoded result for the (name, spec, salt) triple,
+// computing it with compute only if no tier has it and no identical request
+// is already computing it. The returned key is the content address
+// (harness.Key) the result is stored under; src says which tier answered.
+// The returned bytes are shared with the cache and must not be mutated.
+func (e *Engine) Do(ctx context.Context, name, spec, salt string,
+	compute func(context.Context) (json.RawMessage, error)) (data json.RawMessage, key string, src Source, err error) {
+	key = harness.Key(name, spec, salt)
+	if data, ok := e.l1.Get(key); ok {
+		e.metrics.L1Hits.Add(1)
+		return data, key, SourceL1, nil
+	}
+	c, leader := e.flights.join(key)
+	if !leader {
+		e.metrics.Coalesced.Add(1)
+		select {
+		case <-c.done:
+			if c.err != nil {
+				return nil, key, "", c.err
+			}
+			return c.data, key, SourceCoalesced, nil
+		case <-ctx.Done():
+			// This waiter's deadline expired; the leader keeps computing
+			// for whoever is still listening, and the result still lands
+			// in the caches.
+			return nil, key, "", ctx.Err()
+		}
+	}
+	c.data, c.src, c.err = e.lookupOrCompute(ctx, key, name, spec, salt, compute)
+	e.flights.finish(key, c)
+	return c.data, key, c.src, c.err
+}
+
+// lookupOrCompute is the leader's path: disk tier, then admission-gated
+// compute, storing fresh results into both tiers.
+func (e *Engine) lookupOrCompute(ctx context.Context, key, name, spec, salt string,
+	compute func(context.Context) (json.RawMessage, error)) (json.RawMessage, Source, error) {
+	if e.l2 != nil {
+		data, hit, err := e.l2.Get(key)
+		if err != nil && e.logf != nil {
+			e.logf("serve: l2 read key=%.12s…: %v (recomputing)", key, err)
+		}
+		if err == nil && hit {
+			e.metrics.L2Hits.Add(1)
+			e.l1.Put(key, data)
+			return data, SourceL2, nil
+		}
+	}
+	if err := e.adm.acquire(ctx); err != nil {
+		if err == errSaturated {
+			e.metrics.Rejected.Add(1)
+		}
+		return nil, "", err
+	}
+	defer e.adm.release()
+	if e.computeStarted != nil {
+		e.computeStarted(key)
+	}
+	data, err := safeCompute(ctx, compute)
+	if err != nil {
+		return nil, "", err
+	}
+	// A deadline that fired mid-compute means the result may be partial
+	// (the GK solver returns early on cancellation): report the timeout and
+	// never cache.
+	if ctx.Err() != nil {
+		return nil, "", ctx.Err()
+	}
+	e.metrics.Computed.Add(1)
+	e.l1.Put(key, data)
+	if e.l2 != nil {
+		if err := e.l2.Put(key, harness.Entry{
+			Job: name, Spec: spec, Salt: salt,
+			CreatedAt: time.Now().UTC(), Result: data,
+		}); err != nil && e.logf != nil {
+			e.logf("serve: l2 write key=%.12s…: %v (serving uncached)", key, err)
+		}
+		if e.l2MaxBytes > 0 && e.l2Puts.Add(1)%l2PruneEvery == 0 {
+			if _, _, err := e.l2.Prune(e.l2MaxBytes, e.logf); err != nil && e.logf != nil {
+				e.logf("serve: l2 prune: %v", err)
+			}
+		}
+	}
+	return data, SourceComputed, nil
+}
+
+// safeCompute invokes compute with panic recovery, so one malformed query
+// cannot take down the daemon (mirrors harness.safeRun).
+func safeCompute(ctx context.Context, compute func(context.Context) (json.RawMessage, error)) (data json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: compute panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return compute(ctx)
+}

@@ -1,0 +1,325 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"beyondft/internal/fluid"
+	"beyondft/internal/graph"
+	"beyondft/internal/tm"
+	"beyondft/internal/topology"
+	"beyondft/internal/workload"
+)
+
+// CodeSalt versions the ad-hoc query computations for the result cache,
+// layered the same way as experiments.CodeSalt: bump it whenever the
+// topology constructors, the GK solver, or the path kernels change their
+// numeric output, so stale cached query results are invalidated.
+const CodeSalt = "serve-v1+" + "gk-incremental-d"
+
+// maxSwitches bounds ad-hoc topology sizes. The service computes what-if
+// queries interactively; a request for a million-switch Jellyfish belongs
+// in the batch harness, and admission control cannot help once a single
+// compute is allowed to be arbitrarily large.
+const maxSwitches = 8192
+
+// TopoSpec describes a topology to build, mirroring cmd/throughput's
+// flags. Fields irrelevant to the chosen kind are zeroed during
+// normalization so specs that differ only in ignored fields share one
+// cache entry.
+type TopoSpec struct {
+	Kind    string `json:"kind"`              // fattree | jellyfish | xpander | slimfly | longhop
+	K       int    `json:"k,omitempty"`       // fattree
+	N       int    `json:"n,omitempty"`       // jellyfish: switch count
+	Degree  int    `json:"degree,omitempty"`  // jellyfish / xpander / longhop
+	Lift    int    `json:"lift,omitempty"`    // xpander
+	Servers int    `json:"servers,omitempty"` // servers per switch (flat topologies)
+	Q       int    `json:"q,omitempty"`       // slimfly
+	Dim     int    `json:"dim,omitempty"`     // longhop
+	Seed    int64  `json:"seed,omitempty"`    // randomized constructions
+}
+
+// normalize fills defaults (cmd/throughput's) and zeroes fields the kind
+// ignores, then validates. The normalized spec is what gets hashed into
+// the cache key, so two requests meaning the same topology hit one entry.
+func (s *TopoSpec) normalize() error {
+	def := func(p *int, d int) {
+		if *p == 0 {
+			*p = d
+		}
+	}
+	switch s.Kind {
+	case "fattree":
+		def(&s.K, 8)
+		s.N, s.Degree, s.Lift, s.Servers, s.Q, s.Dim, s.Seed = 0, 0, 0, 0, 0, 0, 0
+		if s.K < 2 || s.K%2 != 0 || s.K > 64 {
+			return fmt.Errorf("fattree k=%d: need even k in [2,64]", s.K)
+		}
+	case "jellyfish":
+		def(&s.N, 54)
+		def(&s.Degree, 9)
+		def(&s.Servers, 6)
+		if s.Seed == 0 {
+			s.Seed = 1
+		}
+		s.K, s.Lift, s.Q, s.Dim = 0, 0, 0, 0
+		if s.N < 2 || s.N > maxSwitches {
+			return fmt.Errorf("jellyfish n=%d: need [2,%d]", s.N, maxSwitches)
+		}
+		if s.Degree < 2 || s.Degree >= s.N {
+			return fmt.Errorf("jellyfish degree=%d: need [2,n)", s.Degree)
+		}
+		if s.N*s.Degree%2 != 0 {
+			return fmt.Errorf("jellyfish n=%d degree=%d: n·degree must be even", s.N, s.Degree)
+		}
+	case "xpander":
+		def(&s.Degree, 9)
+		def(&s.Lift, 9)
+		def(&s.Servers, 6)
+		if s.Seed == 0 {
+			s.Seed = 1
+		}
+		s.K, s.N, s.Q, s.Dim = 0, 0, 0, 0
+		if s.Degree < 2 || s.Lift < 2 || (s.Degree+1)*s.Lift > maxSwitches {
+			return fmt.Errorf("xpander degree=%d lift=%d: need degree,lift >= 2 and (degree+1)*lift <= %d", s.Degree, s.Lift, maxSwitches)
+		}
+	case "slimfly":
+		def(&s.Q, 5)
+		def(&s.Servers, 6)
+		s.K, s.N, s.Degree, s.Lift, s.Dim, s.Seed = 0, 0, 0, 0, 0, 0
+		if s.Q < 2 || 2*s.Q*s.Q > maxSwitches {
+			return fmt.Errorf("slimfly q=%d: need q >= 2 and 2q² <= %d", s.Q, maxSwitches)
+		}
+		if !isPrimeMod4(s.Q) {
+			return fmt.Errorf("slimfly q=%d: need a prime ≡ 1 (mod 4)", s.Q)
+		}
+	case "longhop":
+		def(&s.Dim, 6)
+		def(&s.Degree, 9)
+		def(&s.Servers, 6)
+		s.K, s.N, s.Lift, s.Q, s.Seed = 0, 0, 0, 0, 0
+		if s.Dim < 2 || s.Dim > 13 {
+			return fmt.Errorf("longhop dim=%d: need [2,13]", s.Dim)
+		}
+		if s.Degree < s.Dim || s.Degree >= 1<<s.Dim {
+			return fmt.Errorf("longhop degree=%d: need [dim=%d, 2^dim)", s.Degree, s.Dim)
+		}
+	default:
+		return fmt.Errorf("unknown topology kind %q (want fattree|jellyfish|xpander|slimfly|longhop)", s.Kind)
+	}
+	if s.Servers < 0 || s.Servers > 256 {
+		return fmt.Errorf("servers=%d: need [0,256]", s.Servers)
+	}
+	return nil
+}
+
+// isPrimeMod4 reports whether q is a prime ≡ 1 (mod 4) — the SlimFly
+// constructor's precondition, checked here so a bad q is a 400, not a
+// recovered panic.
+func isPrimeMod4(q int) bool {
+	if q < 2 || q%4 != 1 {
+		return false
+	}
+	for d := 2; d*d <= q; d++ {
+		if q%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// build constructs the topology. Call normalize first.
+func (s *TopoSpec) build() (*topology.Topology, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	var t *topology.Topology
+	switch s.Kind {
+	case "fattree":
+		t = &topology.NewFatTree(s.K).Topology
+	case "jellyfish":
+		t = topology.NewJellyfish(s.N, s.Degree, s.Servers, rng)
+	case "xpander":
+		t = &topology.NewXpander(s.Degree, s.Lift, s.Servers, rng).Topology
+	case "slimfly":
+		t = &topology.NewSlimFly(s.Q, s.Servers).Topology
+	case "longhop":
+		t = &topology.NewLonghop(s.Dim, s.Degree, s.Servers).Topology
+	default:
+		return nil, fmt.Errorf("unknown topology kind %q", s.Kind)
+	}
+	if t.NumSwitches() > maxSwitches {
+		return nil, fmt.Errorf("topology has %d switches > limit %d", t.NumSwitches(), maxSwitches)
+	}
+	return t, nil
+}
+
+// ThroughputRequest is the body of POST /v1/throughput: evaluate a
+// topology's per-server throughput in the fluid-flow model under a traffic
+// matrix family — the interactive twin of cmd/throughput.
+type ThroughputRequest struct {
+	Topo TopoSpec `json:"topo"`
+	// TM is the traffic matrix family: longest-matching (default),
+	// permutation, or all-to-all.
+	TM string `json:"tm,omitempty"`
+	// X is the fraction of active racks (default 1).
+	X float64 `json:"x,omitempty"`
+	// Epsilon is the GK approximation parameter (default 0.08).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Seed drives workload randomness (active-rack choice, permutation
+	// pairing); independent of Topo.Seed. Default 1.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+func (r *ThroughputRequest) normalize() error {
+	if err := r.Topo.normalize(); err != nil {
+		return err
+	}
+	if r.TM == "" {
+		r.TM = "longest-matching"
+	}
+	switch r.TM {
+	case "longest-matching", "permutation", "all-to-all":
+	default:
+		return fmt.Errorf("unknown tm %q (want longest-matching|permutation|all-to-all)", r.TM)
+	}
+	if r.X == 0 {
+		r.X = 1
+	}
+	if r.X < 0 || r.X > 1 {
+		return fmt.Errorf("x=%g: need (0,1]", r.X)
+	}
+	if r.Epsilon == 0 {
+		r.Epsilon = 0.08
+	}
+	if r.Epsilon < 0.005 || r.Epsilon > 0.5 {
+		return fmt.Errorf("epsilon=%g: need [0.005,0.5]", r.Epsilon)
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	return nil
+}
+
+// spec returns the canonical cache spec: the JSON encoding of the
+// normalized request (struct field order is fixed, so the encoding is
+// deterministic).
+func (r *ThroughputRequest) spec() string {
+	data, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("serve: encode throughput spec: %v", err)) // flat struct of scalars
+	}
+	return string(data)
+}
+
+// ThroughputResult is the response payload of /v1/throughput.
+type ThroughputResult struct {
+	Topology   string  `json:"topology"`
+	Switches   int     `json:"switches"`
+	Servers    int     `json:"servers"`
+	TMName     string  `json:"tm"`
+	Racks      int     `json:"racks"`
+	Throughput float64 `json:"throughput"`  // per-server, clamped to 1
+	UpperBound float64 `json:"upper_bound"` // GK dual bound (also clamped)
+	Phases     int     `json:"phases"`
+	Epsilon    float64 `json:"epsilon"`
+}
+
+// run computes the query. ctx cancellation propagates into the GK solver
+// at phase granularity; a canceled run returns ctx.Err() rather than a
+// partial result.
+func (r *ThroughputRequest) run(ctx context.Context) (json.RawMessage, error) {
+	t, err := r.Topo.build()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	racks := workload.ActiveRacks(t, r.X, r.Topo.Kind == "fattree", rng)
+	serversOf := func(rack int) int { return t.Servers[rack] }
+	var m *tm.TM
+	switch r.TM {
+	case "longest-matching":
+		m = tm.LongestMatching(t.G, racks, serversOf)
+	case "permutation":
+		if len(racks)%2 == 1 {
+			racks = racks[:len(racks)-1]
+		}
+		m = tm.RandomPermutation(racks, serversOf, rng)
+	case "all-to-all":
+		m = tm.AllToAll(racks, serversOf)
+	}
+	if err := m.ValidateHose(serversOf); err != nil {
+		return nil, fmt.Errorf("traffic matrix violates hose model: %w", err)
+	}
+	nw := fluid.NewNetwork(t.G, 1.0)
+	res := fluid.MaxConcurrentFlow(nw, fluid.Commodities(m), fluid.GKOptions{
+		Epsilon: r.Epsilon,
+		Workers: graph.Parallelism(),
+		Ctx:     ctx,
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := ThroughputResult{
+		Topology:   t.Name,
+		Switches:   t.NumSwitches(),
+		Servers:    t.TotalServers(),
+		TMName:     m.Name,
+		Racks:      len(racks),
+		Throughput: min(res.Throughput, 1),
+		UpperBound: min(res.UpperBound, 1),
+		Phases:     res.Phases,
+		Epsilon:    r.Epsilon,
+	}
+	return json.Marshal(&out)
+}
+
+// PathStatsRequest is the body of POST /v1/pathstats: structural
+// shortest-path statistics of a topology's switch graph.
+type PathStatsRequest struct {
+	Topo TopoSpec `json:"topo"`
+}
+
+func (r *PathStatsRequest) normalize() error { return r.Topo.normalize() }
+
+func (r *PathStatsRequest) spec() string {
+	data, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("serve: encode pathstats spec: %v", err))
+	}
+	return string(data)
+}
+
+// PathStatsResult is the response payload of /v1/pathstats. Mean is -1
+// when the graph is disconnected (JSON has no NaN).
+type PathStatsResult struct {
+	Topology  string  `json:"topology"`
+	Switches  int     `json:"switches"`
+	Servers   int     `json:"servers"`
+	Connected bool    `json:"connected"`
+	Diameter  int     `json:"diameter"`
+	Mean      float64 `json:"mean_shortest_path"`
+}
+
+func (r *PathStatsRequest) run(ctx context.Context) (json.RawMessage, error) {
+	t, err := r.Topo.build()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ps := t.G.PathStats()
+	out := PathStatsResult{
+		Topology:  t.Name,
+		Switches:  t.NumSwitches(),
+		Servers:   t.TotalServers(),
+		Connected: ps.Connected,
+		Diameter:  ps.Diameter,
+		Mean:      ps.Mean,
+	}
+	if !ps.Connected {
+		out.Diameter, out.Mean = -1, -1
+	}
+	return json.Marshal(&out)
+}

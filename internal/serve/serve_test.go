@@ -1,0 +1,484 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"beyondft/internal/experiments"
+	"beyondft/internal/harness"
+)
+
+// testConfig returns a server config against a fresh L2 dir with small,
+// fast defaults.
+func testConfig(t *testing.T, cacheDir string) Config {
+	t.Helper()
+	return Config{
+		Experiments:    experiments.DefaultConfig(),
+		CacheDir:       cacheDir,
+		L1Bytes:        8 << 20,
+		Workers:        2,
+		QueueDepth:     4,
+		RequestTimeout: 30 * time.Second,
+		Logf:           t.Logf,
+	}
+}
+
+// smallThroughputBody is a fast query: a 12-switch Jellyfish solves in
+// milliseconds.
+const smallThroughputBody = `{"topo":{"kind":"jellyfish","n":12,"degree":3,"servers":2},"tm":"permutation","x":0.5}`
+
+// postJSON posts body and decodes the queryResponse envelope.
+func postJSON(t *testing.T, url, body string) (queryResponse, int) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	var qr queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &qr); err != nil {
+			t.Fatalf("decode %q: %v", data, err)
+		}
+	}
+	return qr, resp.StatusCode
+}
+
+// TestServeEndToEndTiers walks one query through every tier: cold compute,
+// then an L1 hit, then (on a fresh server sharing the disk cache) an L2
+// hit that repopulates L1.
+func TestServeEndToEndTiers(t *testing.T) {
+	cacheDir := t.TempDir()
+	s1, err := New(testConfig(t, cacheDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	defer ts1.Close()
+
+	qr, code := postJSON(t, ts1.URL+"/v1/throughput", smallThroughputBody)
+	if code != http.StatusOK || qr.Source != SourceComputed {
+		t.Fatalf("cold: code=%d source=%q, want 200 computed", code, qr.Source)
+	}
+	var res ThroughputResult
+	if err := json.Unmarshal(qr.Result, &res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if res.Throughput <= 0 || res.Throughput > 1 || res.Switches != 12 {
+		t.Fatalf("implausible result %+v", res)
+	}
+
+	qr2, code := postJSON(t, ts1.URL+"/v1/throughput", smallThroughputBody)
+	if code != http.StatusOK || qr2.Source != SourceL1 {
+		t.Fatalf("warm: code=%d source=%q, want 200 l1", code, qr2.Source)
+	}
+	if qr2.Key != qr.Key || string(qr2.Result) != string(qr.Result) {
+		t.Fatalf("L1 hit returned different bytes")
+	}
+
+	// A semantically identical request spelled differently (defaults made
+	// explicit) must hit the same cache entry.
+	explicit := `{"topo":{"kind":"jellyfish","n":12,"degree":3,"servers":2,"seed":1},"tm":"permutation","x":0.5,"epsilon":0.08,"seed":1}`
+	qr3, code := postJSON(t, ts1.URL+"/v1/throughput", explicit)
+	if code != http.StatusOK || qr3.Key != qr.Key || qr3.Source != SourceL1 {
+		t.Fatalf("normalized twin: code=%d key=%.12s source=%q, want key %.12s l1", code, qr3.Key, qr3.Source, qr.Key)
+	}
+
+	// Fresh server, same disk cache: first hit comes from L2...
+	s2, err := New(testConfig(t, cacheDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	qr4, code := postJSON(t, ts2.URL+"/v1/throughput", smallThroughputBody)
+	if code != http.StatusOK || qr4.Source != SourceL2 {
+		t.Fatalf("restart: code=%d source=%q, want 200 l2", code, qr4.Source)
+	}
+	if string(qr4.Result) != string(qr.Result) {
+		t.Fatalf("L2 hit returned different bytes")
+	}
+	// ...and the L2 hit promoted the entry into L1.
+	qr5, _ := postJSON(t, ts2.URL+"/v1/throughput", smallThroughputBody)
+	if qr5.Source != SourceL1 {
+		t.Fatalf("after promotion source=%q, want l1", qr5.Source)
+	}
+
+	// /metrics reports the tier counters in the exposition format.
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		`beyondftd_cache_hits_total{tier="l1"} 1`,
+		`beyondftd_cache_hits_total{tier="l2"} 1`,
+		"beyondftd_computed_total 0",
+		"beyondftd_requests_total 2",
+		`beyondftd_request_duration_ms_bucket{endpoint="/v1/throughput",le="+Inf"} 2`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestServePathStatsAndJobs covers the other two endpoints: pathstats
+// returns sane structure, the jobs listing matches the registry, and a
+// registered job runs and round-trips through the cache.
+func TestServePathStatsAndJobs(t *testing.T) {
+	s, err := New(testConfig(t, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	qr, code := postJSON(t, ts.URL+"/v1/pathstats", `{"topo":{"kind":"xpander","degree":4,"lift":5,"servers":3}}`)
+	if code != http.StatusOK {
+		t.Fatalf("pathstats: code=%d", code)
+	}
+	var ps PathStatsResult
+	if err := json.Unmarshal(qr.Result, &ps); err != nil {
+		t.Fatal(err)
+	}
+	if !ps.Connected || ps.Diameter < 1 || ps.Mean <= 0 || ps.Switches != 25 {
+		t.Fatalf("implausible pathstats %+v", ps)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jobs []jobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if want := experiments.DefaultConfig().Registry().Len(); len(jobs) != want {
+		t.Fatalf("listed %d jobs, want %d", len(jobs), want)
+	}
+
+	qr, code = postJSON(t, ts.URL+"/v1/jobs/table1/run", `{}`)
+	if code != http.StatusOK || qr.Source != SourceComputed {
+		t.Fatalf("job run: code=%d source=%q", code, qr.Source)
+	}
+	jr, err := experiments.DecodeJobResult(qr.Result)
+	if err != nil {
+		t.Fatalf("job result does not decode: %v", err)
+	}
+	if len(jr.Figures) == 0 {
+		t.Fatalf("job result has no figures")
+	}
+	if qr, code = postJSON(t, ts.URL+"/v1/jobs/table1/run", `{}`); code != http.StatusOK || qr.Source != SourceL1 {
+		t.Fatalf("job rerun: code=%d source=%q, want l1", code, qr.Source)
+	}
+}
+
+func TestServeRejectsBadRequests(t *testing.T) {
+	s, err := New(testConfig(t, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		url, body string
+		want      int
+	}{
+		{"/v1/throughput", `{"topo":{"kind":"moebius"}}`, http.StatusBadRequest},
+		{"/v1/throughput", `{"topo":{"kind":"jellyfish"},"typo_field":1}`, http.StatusBadRequest},
+		{"/v1/throughput", `{"topo":{"kind":"jellyfish","n":13,"degree":3}}`, http.StatusBadRequest}, // odd n·degree
+		{"/v1/throughput", `{"topo":{"kind":"slimfly","q":4}}`, http.StatusBadRequest},               // q not prime ≡ 1 mod 4
+		{"/v1/pathstats", `{"topo":{"kind":"jellyfish","n":100000}}`, http.StatusBadRequest},         // over size cap
+		{"/v1/jobs/nosuchjob/run", `{}`, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		if _, code := postJSON(t, ts.URL+c.url, c.body); code != c.want {
+			t.Errorf("POST %s %s: code=%d, want %d", c.url, c.body, code, c.want)
+		}
+	}
+}
+
+// TestServeCoalescing proves the singleflight: N identical concurrent
+// requests execute the underlying job exactly once; the rest are served
+// from the same in-flight compute and counted as coalesced.
+func TestServeCoalescing(t *testing.T) {
+	s, err := New(testConfig(t, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	release := make(chan struct{})
+	s.engine.computeStarted = func(string) {
+		computes.Add(1)
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]queryResponse, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], codes[i] = postJSON(t, ts.URL+"/v1/throughput", smallThroughputBody)
+		}(i)
+	}
+	// The leader is blocked inside compute; wait until the other n-1 have
+	// all joined its flight, then let it finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.metrics.Coalesced.Load() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d coalesced", s.metrics.Coalesced.Load(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("job executed %d times, want exactly 1", got)
+	}
+	sources := map[Source]int{}
+	for i := range results {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: code=%d", i, codes[i])
+		}
+		sources[results[i].Source]++
+		if results[i].Key != results[0].Key {
+			t.Fatalf("request %d got different key", i)
+		}
+	}
+	if sources[SourceComputed] != 1 || sources[SourceCoalesced] != n-1 {
+		t.Fatalf("sources = %v, want 1 computed + %d coalesced", sources, n-1)
+	}
+	if got := s.metrics.Computed.Load(); got != 1 {
+		t.Fatalf("metrics computed = %d, want 1", got)
+	}
+}
+
+// TestServeSaturationReturns429 fills the single compute slot and the
+// zero-depth queue, then checks that a different query is shed with 429
+// and a Retry-After header rather than queued.
+func TestServeSaturationReturns429(t *testing.T) {
+	cfg := testConfig(t, t.TempDir())
+	cfg.Workers = 1
+	cfg.QueueDepth = 0
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan string, 1)
+	release := make(chan struct{})
+	s.engine.computeStarted = func(key string) {
+		entered <- key
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		_, code := postJSON(t, ts.URL+"/v1/throughput", smallThroughputBody)
+		done <- code
+	}()
+	select {
+	case <-entered: // slot is now held
+	case <-time.After(10 * time.Second):
+		t.Fatal("first request never reached compute")
+	}
+
+	other := `{"topo":{"kind":"jellyfish","n":14,"degree":3,"servers":2}}`
+	resp, err := http.Post(ts.URL+"/v1/throughput", "application/json", strings.NewReader(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: code=%d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After header")
+	}
+	if got := s.metrics.Rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("blocked request finished with %d", code)
+	}
+}
+
+// TestServeGracefulDrain checks shutdown semantics on a real listener: new
+// connections are refused as soon as draining starts, the in-flight
+// request still completes with 200, Shutdown returns cleanly, and the
+// final manifest records the served query.
+func TestServeGracefulDrain(t *testing.T) {
+	outDir := t.TempDir()
+	cfg := testConfig(t, t.TempDir())
+	cfg.OutDir = outDir
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	entered := make(chan string, 1)
+	s.engine.computeStarted = func(key string) {
+		entered <- key
+		<-release
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	type outcome struct {
+		code int
+		src  Source
+	}
+	inflight := make(chan outcome, 1)
+	go func() {
+		resp, err := client.Post(base+"/v1/throughput", "application/json", strings.NewReader(smallThroughputBody))
+		if err != nil {
+			inflight <- outcome{code: -1}
+			return
+		}
+		defer resp.Body.Close()
+		var qr queryResponse
+		json.NewDecoder(resp.Body).Decode(&qr)
+		inflight <- outcome{code: resp.StatusCode, src: qr.Source}
+	}()
+	<-entered // request is mid-compute
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// The listener must close promptly: poll until new connections fail.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", s.Addr(), time.Second)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	select {
+	case o := <-inflight:
+		t.Fatalf("in-flight request finished before release: %+v", o)
+	default:
+	}
+	close(release)
+
+	if o := <-inflight; o.code != http.StatusOK || o.src != SourceComputed {
+		t.Fatalf("drained request: %+v, want 200 computed", o)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	m, err := harness.ReadManifest(outDir)
+	if err != nil {
+		t.Fatalf("final manifest: %v", err)
+	}
+	if len(m.Jobs) != 1 || m.Jobs[0].Name != "v1/throughput" || m.CacheMisses != 1 {
+		t.Fatalf("manifest does not record the drained request: %+v", m.Report)
+	}
+}
+
+// TestServeDeadlinePropagation: a request whose deadline cannot possibly
+// be met is answered with 504 and never cached.
+func TestServeDeadlinePropagation(t *testing.T) {
+	cfg := testConfig(t, t.TempDir())
+	cfg.RequestTimeout = 1 // 1ns: expires before the first GK phase
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, code := postJSON(t, ts.URL+"/v1/throughput", smallThroughputBody)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("code=%d, want 504", code)
+	}
+	if got := s.metrics.Computed.Load(); got != 0 {
+		t.Fatalf("timed-out request was counted as computed (%d)", got)
+	}
+	// The partial result must not have been cached.
+	if st := s.engine.L1Stats(); st.Entries != 0 {
+		t.Fatalf("timed-out result landed in L1: %+v", st)
+	}
+}
+
+// TestEngineConcurrencyStress hammers one engine with a mix of identical
+// and distinct cheap computes; the race detector plus the exactly-once
+// accounting are the assertions.
+func TestEngineConcurrencyStress(t *testing.T) {
+	e := NewEngine(EngineConfig{L1Bytes: 1 << 20, Workers: 4, QueueDepth: 64})
+	var executions atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				spec := fmt.Sprintf(`{"q":%d}`, i%10)
+				data, _, _, err := e.Do(context.Background(), "stress", spec, "s",
+					func(context.Context) (json.RawMessage, error) {
+						executions.Add(1)
+						return json.RawMessage(spec), nil
+					})
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				if string(data) != spec {
+					t.Errorf("got %q, want %q", data, spec)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Each of the 10 distinct specs computes at least once; coalescing and
+	// L1 keep the total executions far below the 800 requests.
+	if n := executions.Load(); n < 10 || n > 100 {
+		t.Fatalf("executions = %d, want [10,100]", n)
+	}
+	total := e.metrics.L1Hits.Load() + e.metrics.Coalesced.Load() + e.metrics.Computed.Load()
+	if total != 800 {
+		t.Fatalf("accounted requests = %d, want 800", total)
+	}
+}

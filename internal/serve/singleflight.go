@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// flightGroup is a hand-rolled singleflight: concurrent lookups for the
+// same key share one execution. The first caller to join a key becomes the
+// leader and runs the work; everyone else blocks on the call's done channel
+// (or their own context) and reads the shared outcome. Unlike
+// golang.org/x/sync/singleflight this is specialized to our use — keys are
+// harness cache keys, results are encoded JSON — and integrates with the
+// engine's metrics.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight execution. data/src/err are written by the
+// leader before done is closed and read-only afterwards.
+type flightCall struct {
+	done chan struct{}
+	data json.RawMessage
+	src  Source
+	err  error
+}
+
+// join returns the in-flight call for key, creating it if absent. leader
+// reports whether the caller created the call and therefore must execute
+// the work and finish() it.
+func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the leader's outcome: removes the key so later requests
+// start fresh, then wakes all joined waiters.
+func (g *flightGroup) finish(key string, c *flightCall) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}
