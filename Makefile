@@ -1,22 +1,47 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race vet bench bench-all bench-smoke serve-smoke figures figures-full run examples clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke serve-smoke validate-smoke fuzz-smoke fuzz figures figures-full run examples clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: vet bench-smoke serve-smoke
+test: vet bench-smoke serve-smoke validate-smoke fuzz-smoke
 	go test ./...
 
-# The harness, the experiment drivers, the serving core, and the parallel
-# graph/flow kernels are the concurrent paths: run them under the race
-# detector.
+# The harness, the experiment drivers, the serving core, the simulators and
+# the parallel graph/flow kernels are the concurrent paths: run them under
+# the race detector. Fuzz seed corpora run as ordinary tests here, so the
+# fuzz targets are also race-checked.
 test-race:
 	go test -race ./internal/harness/... ./internal/experiments/... \
 		./internal/graph/... ./internal/fluid/... ./internal/tm/... \
-		./internal/serve/...
+		./internal/serve/... ./internal/flowsim/... ./internal/netsim/... \
+		./internal/sim/... ./internal/minheap/... ./internal/topology/... \
+		./internal/validate/...
+
+# Cross-model validation (DESIGN.md §10): exact LP vs Garg–Könemann vs
+# flowsim vs netsim on shared scenarios, plus conservation and replay
+# determinism. The smoke grid is wired into `make test`; the full grid runs
+# through the harness: `go run ./cmd/runner run -only 'validate-*' -full`.
+validate-smoke:
+	go run ./cmd/validate -smoke
+
+# The native fuzz targets' seed corpora, run as plain tests so `make test`
+# catches postcondition regressions without fuzzing time.
+FUZZ_PKGS := ./internal/graph ./internal/minheap ./internal/sim ./internal/topology
+fuzz-smoke:
+	go test -run '^Fuzz' $(FUZZ_PKGS)
+
+# Actual coverage-guided fuzzing, one target per package (go's fuzzer
+# accepts a single -fuzz match per invocation).
+FUZZTIME := 30s
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzKShortestPaths$$' -fuzztime $(FUZZTIME) ./internal/graph
+	go test -run '^$$' -fuzz '^FuzzHeapVsSortOracle$$' -fuzztime $(FUZZTIME) ./internal/minheap
+	go test -run '^$$' -fuzz '^FuzzEngineEventOrder$$' -fuzztime $(FUZZTIME) ./internal/sim
+	go test -run '^$$' -fuzz '^FuzzTopologyGenerators$$' -fuzztime $(FUZZTIME) ./internal/topology
 
 vet:
 	go vet ./...

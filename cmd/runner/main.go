@@ -26,6 +26,7 @@ import (
 
 	"beyondft/internal/experiments"
 	"beyondft/internal/harness"
+	"beyondft/internal/validate"
 )
 
 const (
@@ -94,13 +95,23 @@ func config(full bool, seed int64) experiments.Config {
 	return cfg
 }
 
+// registry is the figure/table registry plus the cross-model validation
+// sweep, so `runner run` executes and caches both through the same pool.
+func registry(cfg experiments.Config, full bool) *harness.Registry {
+	reg := cfg.Registry()
+	for _, j := range validate.Jobs(cfg.Seed, full) {
+		reg.MustRegister(j)
+	}
+	return reg
+}
+
 func cmdList(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	full := fs.Bool("full", false, "paper-scale configuration")
 	seed := fs.Int64("seed", 1, "base random seed")
 	fs.Parse(args)
 
-	reg := config(*full, *seed).Registry()
+	reg := registry(config(*full, *seed), *full)
 	fmt.Printf("%d registered jobs (spec: %s)\n", reg.Len(), config(*full, *seed).Spec())
 	for _, j := range reg.Jobs() {
 		fmt.Printf("  %-14s key=%.12s…\n", j.Name, harness.Key(j.Name, j.Spec, experiments.CodeSalt))
@@ -121,7 +132,7 @@ func cmdRun(args []string) error {
 	fs.Parse(args)
 
 	cfg := config(*full, *seed)
-	jobs, err := cfg.Registry().Match(*only)
+	jobs, err := registry(cfg, *full).Match(*only)
 	if err != nil {
 		return err
 	}

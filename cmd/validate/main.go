@@ -1,0 +1,55 @@
+// Command validate runs the cross-model validation sweep: the same small
+// scenarios through the exact LP, the Garg–Könemann FPTAS, the flow-level
+// simulator and the packet-level simulator, asserting agreement within the
+// tolerances declared in internal/validate (see DESIGN.md §10) plus the
+// conservation and replay-determinism invariants on every run.
+//
+//	go run ./cmd/validate            # full sweep
+//	go run ./cmd/validate -smoke     # reduced grid (wired into `make test`)
+//	go run ./cmd/validate -json      # machine-readable output
+//
+// Exits 1 if any check fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"beyondft/internal/validate"
+)
+
+func main() {
+	smoke := flag.Bool("smoke", false, "run the reduced scenario grid")
+	seed := flag.Int64("seed", 1, "base random seed for scenario generation")
+	jsonOut := flag.Bool("json", false, "emit checks as JSON instead of text")
+	flag.Parse()
+
+	checks := validate.All(*seed, *smoke)
+	failed := validate.Failed(checks)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(checks); err != nil {
+			fmt.Fprintf(os.Stderr, "validate: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, c := range checks {
+			mark := "ok  "
+			if !c.OK() {
+				mark = "FAIL"
+			}
+			fmt.Printf("%s %-40s %s\n", mark, c.Name, c.Detail)
+			if !c.OK() {
+				fmt.Printf("     ^ %s\n", c.Err)
+			}
+		}
+		fmt.Printf("\n%d checks, %d failed\n", len(checks), len(failed))
+	}
+	if len(failed) > 0 {
+		os.Exit(1)
+	}
+}

@@ -19,7 +19,12 @@ import (
 // v2: the GK solver tracks D(l) incrementally (PR 2), which shifts
 // throughput values by floating-point drift relative to the per-phase
 // rescan — enough to change cached CSV bytes.
-const CodeSalt = harness.Version + "+experiments-v2"
+//
+// v3: simulator bugfix sweep (PR 4). netsim's ECN marking moved to DCTCP
+// instant-queue semantics (first mark at occupancy K, one packet earlier
+// than before) and flowsim's event loop rounds departures up instead of
+// truncating — both shift every packet- and flow-level figure.
+const CodeSalt = harness.Version + "+experiments-v3"
 
 // JobResult is the cacheable output of one experiment job: the figures the
 // driver produced. It round-trips through JSON losslessly (floats use the

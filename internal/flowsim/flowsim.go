@@ -90,17 +90,72 @@ type Network struct {
 
 	flows   []*Flow
 	active  map[int32]*Flow
-	pending []arrival
+	pending arrivalHeap
+	arrSeq  int64
 
 	// Recomputed allocation state.
-	dirty bool
+	dirty  bool
+	idsBuf []int32
 }
 
 type arrival struct {
 	at   sim.Time
+	seq  int64 // insertion order, for FIFO tie-breaking at equal times
 	src  int
 	dst  int
 	size int64
+}
+
+// arrivalHeap is a binary min-heap of arrivals ordered by (at, seq), so
+// out-of-order ScheduleFlow calls cost O(log n) instead of the worst-case
+// quadratic insertion shuffle, and equal-time arrivals start in call order.
+type arrivalHeap []arrival
+
+func arrivalLess(a, b arrival) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *arrivalHeap) push(a arrival) {
+	s := append(*h, a)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !arrivalLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *arrivalHeap) pop() arrival {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && arrivalLess(s[r], s[l]) {
+			m = r
+		}
+		if !arrivalLess(s[m], s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // NewNetwork builds the flow-level model of a topology.
@@ -197,12 +252,8 @@ func (n *Network) ScheduleFlow(at sim.Time, src, dst int, size int64) {
 	if at < n.now {
 		at = n.now
 	}
-	n.pending = append(n.pending, arrival{at: at, src: src, dst: dst, size: size})
-	// Keep pending sorted by insertion-friendly sift (arrivals are usually
-	// appended in time order by the Poisson generator).
-	for i := len(n.pending) - 1; i > 0 && n.pending[i].at < n.pending[i-1].at; i-- {
-		n.pending[i], n.pending[i-1] = n.pending[i-1], n.pending[i]
-	}
+	n.arrSeq++
+	n.pending.push(arrival{at: at, seq: n.arrSeq, src: src, dst: dst, size: size})
 }
 
 func (n *Network) startFlow(a arrival) *Flow {
@@ -290,71 +341,77 @@ func (n *Network) allocate() {
 	n.dirty = false
 }
 
+// completeEps is the residual (in bytes) below which a flow counts as
+// finished: it absorbs the floating-point slack left by integrating progress
+// to a departure instant that was rounded up to the integer-ns clock.
+const completeEps = 1e-6
+
 // Run advances the simulation to the given horizon.
+//
+// Departure times are rounded UP to the integer-nanosecond clock (a flow
+// cannot be done before its last byte is served), so a flow whose ideal FCT
+// is an integral number of nanoseconds completes exactly on time. At every
+// event instant — departure OR arrival — every flow whose residual is within
+// completeEps finishes, in ID order; an arrival tying with a departure can
+// no longer postpone the completion by an extra allocation round.
 func (n *Network) Run(until sim.Time) {
 	for n.now < until {
 		if n.dirty {
 			n.allocate()
 		}
-		// Next departure (ID order for deterministic tie-breaking).
+		ids := n.sortedActiveIDs()
+		// Earliest departure instant (ID order breaks exact ties).
 		nextEvent := until
-		var completing *Flow
-		for _, id := range n.sortedActiveIDs() {
+		eventDue := false
+		for _, id := range ids {
 			f := n.active[id]
 			if f.rate <= 0 {
 				continue
 			}
-			// remaining bytes at rate bits/ns -> ns
-			dt := sim.Time(f.remaining * 8 / f.rate)
+			// remaining bytes at rate bits/ns -> ns, rounded up to the clock.
+			dt := sim.Time(math.Ceil(f.remaining * 8 / f.rate))
 			if dt < 1 {
 				dt = 1
 			}
-			if n.now+dt < nextEvent {
-				nextEvent = n.now + dt
-				completing = f
+			if t := n.now + dt; t <= nextEvent {
+				if t < nextEvent {
+					nextEvent = t
+				}
+				eventDue = true
 			}
 		}
-		// Next arrival.
-		arrivalNext := false
+		// Earliest arrival may pull the event forward or tie with it.
 		if len(n.pending) > 0 && n.pending[0].at <= nextEvent {
 			nextEvent = n.pending[0].at
-			arrivalNext = true
-			completing = nil
+			eventDue = true
 		}
-		if nextEvent > until {
-			nextEvent = until
-			completing = nil
-			arrivalNext = false
-		}
-		// Integrate progress over [now, nextEvent).
-		dt := float64(nextEvent - n.now)
-		for _, f := range n.active {
-			if f.rate > 0 {
-				f.remaining -= f.rate * dt / 8 // order-independent per flow
+		// Integrate progress over [now, nextEvent) in ID order.
+		if dt := float64(nextEvent - n.now); dt > 0 {
+			for _, id := range ids {
+				f := n.active[id]
+				if f.rate > 0 {
+					f.remaining -= f.rate * dt / 8
+				}
 			}
 		}
 		n.now = nextEvent
-		switch {
-		case completing != nil:
-			completing.remaining = 0
-			completing.Done = true
-			completing.EndNs = n.now
-			delete(n.active, completing.ID)
-			n.dirty = true
-			// Sweep any other flows that finished simultaneously.
-			for id, f := range n.active {
-				if f.remaining <= 1e-6 {
-					f.Done = true
-					f.EndNs = n.now
-					delete(n.active, id)
-				}
-			}
-		case arrivalNext:
-			a := n.pending[0]
-			n.pending = n.pending[1:]
-			n.startFlow(a)
-		default:
+		if !eventDue {
 			return // horizon reached
+		}
+		// Complete every flow that has finished by this instant, in ID order.
+		for _, id := range ids {
+			f := n.active[id]
+			if f.remaining <= completeEps {
+				f.remaining = 0
+				f.Done = true
+				f.EndNs = n.now
+				delete(n.active, f.ID)
+				n.dirty = true
+			}
+		}
+		// Start every arrival due at this instant.
+		for len(n.pending) > 0 && n.pending[0].at <= n.now {
+			n.startFlow(n.pending.pop())
 		}
 	}
 }
@@ -362,12 +419,71 @@ func (n *Network) Run(until sim.Time) {
 // ActiveFlows returns the number of currently active flows.
 func (n *Network) ActiveFlows() int { return len(n.active) }
 
-// sortedActiveIDs returns the active flow IDs in ascending order.
+// Rate returns the flow's current max-min allocation in Gbps; 0 when the
+// flow is done or not yet allocated.
+func (f *Flow) Rate() float64 {
+	if f.Done || f.rate < 0 {
+		return 0
+	}
+	return f.rate
+}
+
+// AuditAllocation verifies the max-min fair allocation invariants at the
+// current instant (recomputing it first if stale):
+//
+//   - every active flow holds a strictly positive rate (work conservation:
+//     no flow starves while capacity remains),
+//   - no link carries more than its capacity (capacity conservation), and
+//   - every active flow crosses at least one saturated link (the max-min
+//     certificate: a flow's rate could not be raised without displacing
+//     another flow).
+//
+// It returns nil when all three hold within floating-point tolerance.
+func (n *Network) AuditAllocation() error {
+	if n.dirty {
+		n.allocate()
+	}
+	const relEps = 1e-6
+	load := make([]float64, len(n.capacity))
+	for _, id := range n.sortedActiveIDs() {
+		f := n.active[id]
+		if f.rate <= 0 {
+			return fmt.Errorf("flowsim: active flow %d has rate %g (work conservation violated)", f.ID, f.rate)
+		}
+		for _, l := range f.links {
+			load[l] += f.rate
+		}
+	}
+	for l, ld := range load {
+		if c := n.capacity[l]; ld > c*(1+relEps)+relEps {
+			return fmt.Errorf("flowsim: link %d carries %g Gbps over capacity %g", l, ld, c)
+		}
+	}
+	for _, id := range n.sortedActiveIDs() {
+		f := n.active[id]
+		bottlenecked := false
+		for _, l := range f.links {
+			if load[l] >= n.capacity[l]*(1-relEps)-relEps {
+				bottlenecked = true
+				break
+			}
+		}
+		if !bottlenecked {
+			return fmt.Errorf("flowsim: flow %d crosses no saturated link (rate %g not max-min)", f.ID, f.rate)
+		}
+	}
+	return nil
+}
+
+// sortedActiveIDs returns the active flow IDs in ascending order. The
+// returned slice aliases a per-network scratch buffer; it is valid until the
+// next call (the simulation is single-threaded and callers never overlap).
 func (n *Network) sortedActiveIDs() []int32 {
-	ids := make([]int32, 0, len(n.active))
+	ids := n.idsBuf[:0]
 	for id := range n.active {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	n.idsBuf = ids
 	return ids
 }

@@ -1,0 +1,183 @@
+package flowsim
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+)
+
+// TestSingleFlowFCTExact pins the FCT of an uncontended flow to exactly
+// size·8/rate — no ±1ns slop. The old event loop truncated the departure
+// time and clamped the residual to a 1ns retry, finishing such flows late.
+func TestSingleFlowFCTExact(t *testing.T) {
+	for _, size := range []int64{1000, 125_000, 1_000_000, 10_000_000} {
+		n := NewNetwork(pairTopo(2), DefaultConfig())
+		n.ScheduleFlow(0, 0, 2, size)
+		n.Run(sim.Second)
+		f := n.Flows()[0]
+		if !f.Done {
+			t.Fatalf("size %d: flow incomplete", size)
+		}
+		want := sim.Time(size * 8 / 10) // 10 Gbps == 10 bits/ns, sizes divide evenly
+		if f.FCT() != want {
+			t.Fatalf("size %d: FCT = %v, want exactly %v", size, f.FCT(), want)
+		}
+	}
+}
+
+// TestArrivalTieDoesNotDelayCompletion: an arrival at the exact instant a
+// flow departs must not preempt the completion. The old loop dropped the
+// completing flow when an arrival tied, finishing it a full allocation
+// round late.
+func TestArrivalTieDoesNotDelayCompletion(t *testing.T) {
+	n := NewNetwork(pairTopo(2), DefaultConfig())
+	n.ScheduleFlow(0, 0, 2, 1_000_000)       // ideal FCT: exactly 800_000 ns
+	n.ScheduleFlow(800_000, 1, 3, 1_000_000) // arrives at that exact instant
+	n.Run(sim.Second)
+	a, b := n.Flows()[0], n.Flows()[1]
+	if !a.Done || !b.Done {
+		t.Fatalf("flows incomplete")
+	}
+	if a.FCT() != 800_000 {
+		t.Fatalf("tied-arrival flow FCT = %v, want exactly 800000 ns", a.FCT())
+	}
+	if b.FCT() != 800_000 { // the link is free again: B also runs uncontended
+		t.Fatalf("second flow FCT = %v, want exactly 800000 ns", b.FCT())
+	}
+}
+
+// flowFingerprint captures everything observable about a run's flows.
+type flowFingerprint struct {
+	id         int32
+	src, dst   int32
+	start, end sim.Time
+	done       bool
+}
+
+func runScenario(seed int64) []flowFingerprint {
+	rng := rand.New(rand.NewSource(seed))
+	topo := topology.NewFatTree(4)
+	cfg := DefaultConfig()
+	cfg.Routing = HYB
+	cfg.Seed = seed
+	n := NewNetwork(&topo.Topology, cfg)
+	total := topo.TotalServers()
+	for i := 0; i < 60; i++ {
+		src, dst := rng.Intn(total), rng.Intn(total)
+		if src == dst {
+			continue
+		}
+		// Bursts of simultaneous arrivals exercise the tie-breaking paths.
+		at := sim.Time(rng.Intn(8)) * 100 * sim.Microsecond
+		n.ScheduleFlow(at, src, dst, int64(1000+rng.Intn(2_000_000)))
+	}
+	n.Run(sim.Second)
+	out := make([]flowFingerprint, 0, len(n.Flows()))
+	for _, f := range n.Flows() {
+		out = append(out, flowFingerprint{f.ID, f.SrcServer, f.DstServer, f.StartNs, f.EndNs, f.Done})
+	}
+	return out
+}
+
+// TestFlowsDeterministicAcrossRunsAndGOMAXPROCS: repeated same-seed runs
+// must produce bit-identical Flows() output, regardless of GOMAXPROCS (the
+// old simultaneous-completion sweep ranged over the active map directly,
+// leaking map iteration order into completion order).
+func TestFlowsDeterministicAcrossRunsAndGOMAXPROCS(t *testing.T) {
+	want := runScenario(7)
+	if len(want) == 0 {
+		t.Fatal("scenario started no flows")
+	}
+	for rep := 0; rep < 3; rep++ {
+		got := runScenario(7)
+		if len(got) != len(want) {
+			t.Fatalf("rep %d: %d flows vs %d", rep, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("rep %d: flow %d diverged: %+v vs %+v", rep, i, got[i], want[i])
+			}
+		}
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	got := runScenario(7)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("GOMAXPROCS=1: flow %d diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestOutOfOrderScheduleFlow: arrivals scheduled in reverse time order must
+// run identically to the same arrivals scheduled forward (the pending queue
+// is a heap, not an insertion-ordered slice).
+func TestOutOfOrderScheduleFlow(t *testing.T) {
+	build := func(reverse bool) []flowFingerprint {
+		n := NewNetwork(pairTopo(4), DefaultConfig())
+		type arr struct {
+			at   sim.Time
+			src  int
+			size int64
+		}
+		arrs := []arr{
+			{0, 0, 500_000},
+			{100_000, 1, 400_000},
+			{200_000, 2, 300_000},
+			{300_000, 3, 200_000},
+		}
+		if reverse {
+			for i := len(arrs) - 1; i >= 0; i-- {
+				n.ScheduleFlow(arrs[i].at, arrs[i].src, arrs[i].src+4, arrs[i].size)
+			}
+		} else {
+			for _, a := range arrs {
+				n.ScheduleFlow(a.at, a.src, a.src+4, a.size)
+			}
+		}
+		n.Run(sim.Second)
+		out := make([]flowFingerprint, 0, len(n.Flows()))
+		for _, f := range n.Flows() {
+			out = append(out, flowFingerprint{f.ID, f.SrcServer, f.DstServer, f.StartNs, f.EndNs, f.Done})
+		}
+		return out
+	}
+	fwd, rev := build(false), build(true)
+	if len(fwd) != len(rev) {
+		t.Fatalf("flow counts differ: %d vs %d", len(fwd), len(rev))
+	}
+	// Flow IDs follow start order in both cases, so records must match 1:1.
+	for i := range fwd {
+		if fwd[i] != rev[i] {
+			t.Fatalf("flow %d: forward %+v vs reverse %+v", i, fwd[i], rev[i])
+		}
+	}
+}
+
+// TestAuditAllocationDuringRun spot-checks the max-min invariants mid-run
+// under churn.
+func TestAuditAllocationDuringRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	topo := topology.NewFatTree(4)
+	n := NewNetwork(&topo.Topology, DefaultConfig())
+	total := topo.TotalServers()
+	for i := 0; i < 40; i++ {
+		src, dst := rng.Intn(total), rng.Intn(total)
+		if src == dst {
+			continue
+		}
+		n.ScheduleFlow(sim.Time(i)*50*sim.Microsecond, src, dst, int64(50_000+rng.Intn(5_000_000)))
+	}
+	for step := 0; step < 20; step++ {
+		n.Run(n.Now() + 200*sim.Microsecond)
+		if n.ActiveFlows() == 0 {
+			continue
+		}
+		if err := n.AuditAllocation(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}

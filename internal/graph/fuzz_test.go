@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// FuzzKShortestPaths checks Yen's algorithm postconditions on random
+// connected graphs: every returned path is a valid src→dst walk over
+// existing edges, loopless (no vertex repeats), the list is free of
+// duplicates, path lengths are non-decreasing, and the first path is a
+// shortest path. It also verifies the query leaves the graph unmodified
+// (Yen removes and restores edges internally).
+func FuzzKShortestPaths(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(4), uint8(4))
+	f.Add(int64(2), uint8(12), uint8(20), uint8(8))
+	f.Add(int64(3), uint8(3), uint8(0), uint8(1))
+	f.Add(int64(99), uint8(16), uint8(40), uint8(6))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, extraRaw, kRaw uint8) {
+		n := 2 + int(nRaw%18)       // 2..19 nodes
+		extra := int(extraRaw % 48) // extra random edges beyond the tree
+		k := 1 + int(kRaw%8)        // 1..8 paths
+		rng := rand.New(rand.NewSource(seed))
+
+		g := New(n)
+		for v := 1; v < n; v++ { // random spanning tree: connected by construction
+			g.AddEdge(v, rng.Intn(v))
+		}
+		for i := 0; i < extra; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		src, dst := 0, n-1
+		edgesBefore := fmt.Sprint(g.Edges())
+		distBefore := g.Frozen().BFS(src)
+
+		paths := g.KShortestPaths(src, dst, k)
+
+		if fmt.Sprint(g.Edges()) != edgesBefore {
+			t.Fatalf("KShortestPaths mutated the graph")
+		}
+		if len(paths) == 0 {
+			t.Fatalf("connected graph but no path %d->%d", src, dst)
+		}
+		if len(paths) > k {
+			t.Fatalf("asked for %d paths, got %d", k, len(paths))
+		}
+		seen := map[string]bool{}
+		prevLen := 0
+		for pi, p := range paths {
+			if p[0] != src || p[len(p)-1] != dst {
+				t.Fatalf("path %d endpoints %d..%d, want %d..%d", pi, p[0], p[len(p)-1], src, dst)
+			}
+			visited := map[int]bool{}
+			for i, v := range p {
+				if v < 0 || v >= n {
+					t.Fatalf("path %d: node %d out of range", pi, v)
+				}
+				if visited[v] {
+					t.Fatalf("path %d is not loopless: %v", pi, p)
+				}
+				visited[v] = true
+				if i > 0 && !g.HasEdge(p[i-1], v) {
+					t.Fatalf("path %d uses non-edge %d-%d", pi, p[i-1], v)
+				}
+			}
+			if len(p)-1 < prevLen {
+				t.Fatalf("path lengths decrease: path %d has %d hops after %d", pi, len(p)-1, prevLen)
+			}
+			prevLen = len(p) - 1
+			key := ""
+			for _, v := range p {
+				key += string(rune(v)) + ","
+			}
+			if seen[key] {
+				t.Fatalf("duplicate path %v", p)
+			}
+			seen[key] = true
+		}
+		if len(paths[0])-1 != distBefore[dst] {
+			t.Fatalf("first path has %d hops, BFS distance is %d", len(paths[0])-1, distBefore[dst])
+		}
+	})
+}

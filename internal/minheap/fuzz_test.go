@@ -1,0 +1,57 @@
+package minheap
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzHeapVsSortOracle drives an arbitrary interleaving of Push and Pop
+// operations decoded from the fuzz input and checks the heap against a
+// sorted-slice oracle: every Pop must return the minimum priority currently
+// held, and draining the heap must yield a non-decreasing sequence that is a
+// permutation of everything pushed.
+func FuzzHeapVsSortOracle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{200, 1, 220, 2, 3, 250, 4})
+	f.Add([]byte{5, 5, 5, 5, 255, 255, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Heap
+		var oracle []float64 // kept sorted ascending
+		pushed := 0
+		for i, b := range data {
+			if b >= 200 && len(oracle) > 0 {
+				got := h.Pop()
+				if got.Pri != oracle[0] {
+					t.Fatalf("op %d: Pop pri = %v, oracle min = %v", i, got.Pri, oracle[0])
+				}
+				oracle = oracle[1:]
+				continue
+			}
+			// Derive a priority that collides often (exercises ties) but also
+			// varies with position.
+			pri := float64(b%16) + float64(i%3)*0.25
+			h.Push(Item{Node: int32(pushed), Pri: pri})
+			pushed++
+			j := sort.SearchFloat64s(oracle, pri)
+			oracle = append(oracle, 0)
+			copy(oracle[j+1:], oracle[j:])
+			oracle[j] = pri
+		}
+		if h.Len() != len(oracle) {
+			t.Fatalf("Len = %d, oracle holds %d", h.Len(), len(oracle))
+		}
+		prev := -1.0
+		for h.Len() > 0 {
+			it := h.Pop()
+			if it.Pri < prev {
+				t.Fatalf("drain not sorted: %v after %v", it.Pri, prev)
+			}
+			if it.Pri != oracle[0] {
+				t.Fatalf("drain pri = %v, oracle min = %v", it.Pri, oracle[0])
+			}
+			oracle = oracle[1:]
+			prev = it.Pri
+		}
+	})
+}

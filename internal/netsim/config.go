@@ -80,6 +80,10 @@ type Config struct {
 	CAMarkThreshold int
 	// KSPPaths is the number of shortest paths for KSP/MPTCP routing.
 	KSPPaths int
+	// KSPCacheEntries bounds the (src,dst) ToR pairs cached by KSP/MPTCP
+	// routing; the oldest entry is evicted first. 0 means the default
+	// (65536 pairs); large sweeps can lower it to cap memory.
+	KSPCacheEntries int
 	// MPTCPSubflows is the subflow count for MPTCP routing.
 	MPTCPSubflows int
 	// InitialWindowPackets is DCTCP's initial congestion window.
@@ -124,4 +128,12 @@ func (c Config) serverLinkRate() float64 {
 		return c.ServerLinkRateGbps
 	}
 	return c.LinkRateGbps
+}
+
+// kspCacheEntries resolves the effective KSP cache bound.
+func (c Config) kspCacheEntries() int {
+	if c.KSPCacheEntries > 0 {
+		return c.KSPCacheEntries
+	}
+	return 65536
 }

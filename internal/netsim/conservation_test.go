@@ -89,7 +89,9 @@ func TestPropertyLinkAccounting(t *testing.T) {
 		if s.Transmitted < 2*uint64(n.flows[0].SizePkts) {
 			return false
 		}
-		return s.MaxQueue <= cfg.QueueCapPackets
+		// MaxQueue records the DCTCP instant queue: capPkts waiting plus
+		// one in service.
+		return s.MaxQueue <= cfg.QueueCapPackets+1
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)

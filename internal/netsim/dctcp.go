@@ -124,7 +124,7 @@ func (s *sender) sendPacket(seq int32) {
 	p.PathHash = s.flowletHash
 	p.Route = s.route
 	p.Hop = 0
-	s.n.hostUp[s.f.SrcServer].Enqueue(p)
+	s.n.inject(s.f.SrcServer, p)
 	s.armTimer()
 }
 
@@ -266,7 +266,7 @@ func (r *receiver) onData(n *Network, p *Packet) {
 	ack.DstSwitch = n.serverTor[p.SrcServer]
 	ack.ViaSwitch = -1
 	ack.PathHash = splitmix64(uint64(p.FlowID)*0x9e3779b97f4a7c15 + 0x1234)
-	n.hostUp[p.DstServer].Enqueue(ack)
+	n.inject(p.DstServer, ack)
 }
 
 func maxf(a, b float64) float64 {

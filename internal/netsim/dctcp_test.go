@@ -96,9 +96,12 @@ func TestWindowBoundedInFlight(t *testing.T) {
 		if inflight := s.nextSeq - s.sndUna; inflight > maxInflight {
 			maxInflight = inflight
 		}
-		// The window never exceeds cwnd + 1 packet of slack.
-		if inflight := s.nextSeq - s.sndUna; float64(inflight) > s.cwnd+1 {
-			t.Fatalf("inflight %d exceeds cwnd %.1f", inflight, s.cwnd)
+		// In-flight never exceeds twice the current window: packets sent
+		// under the pre-reduction cwnd stay outstanding across a
+		// multiplicative decrease, which cuts by at most α/2 <= 1/2 per
+		// window (and loss recovery resets nextSeq to sndUna outright).
+		if inflight := s.nextSeq - s.sndUna; float64(inflight) > 2*s.cwnd+1 {
+			t.Fatalf("inflight %d exceeds 2x cwnd %.1f", inflight, s.cwnd)
 		}
 	}
 	if maxInflight < 2 {

@@ -55,19 +55,35 @@ func newLink(eng *sim.Engine, rateGbps float64, propNs int64, capPkts, ecnThold 
 	return l
 }
 
-// QueueLen returns the number of queued (not yet transmitting) packets.
-func (l *Link) QueueLen() int { return len(l.queue) - l.head }
+// queuedLen returns the number of waiting (not yet transmitting) packets —
+// the population the drop-tail capacity bounds.
+func (l *Link) queuedLen() int { return len(l.queue) - l.head }
+
+// QueueLen returns the instantaneous number of packets in the system at this
+// link: waiting packets plus the one in service. This is DCTCP's "instant
+// queue" — the quantity the ECN threshold K compares against and the one
+// MaxQueue records.
+func (l *Link) QueueLen() int {
+	q := l.queuedLen()
+	if l.busy {
+		q++
+	}
+	return q
+}
 
 // Enqueue accepts a packet for transmission, marking or dropping per the
-// queue state.
+// queue state. The drop-tail bound applies to the waiting queue (the buffer);
+// ECN marks the arriving packet when the instant queue — waiting plus
+// in-service — already holds at least ecnThold packets, per DCTCP's
+// instant-queue-length marking (so the threshold K marks at K packets in
+// system, not K+1).
 func (l *Link) Enqueue(p *Packet) {
-	qlen := l.QueueLen()
-	if qlen >= l.capPkts {
+	if l.queuedLen() >= l.capPkts {
 		l.Dropped++
 		l.drop(p)
 		return
 	}
-	if qlen >= l.ecnThold {
+	if l.QueueLen() >= l.ecnThold {
 		p.CE = true
 		if l.isHostUplink {
 			p.CEAtHost = true
@@ -110,7 +126,7 @@ func (l *Link) onTxDone(arg any) {
 	l.Transmitted++
 	l.BytesTx += uint64(p.SizeBytes)
 	l.eng.SchedulePacket(l.eng.Now()+l.propNs, l.deliverFn, p)
-	if l.QueueLen() > 0 {
+	if l.queuedLen() > 0 {
 		l.startTx()
 	} else {
 		l.busy = false

@@ -31,8 +31,12 @@ type Network struct {
 	interLinks []*Link
 
 	// kspCache holds the k shortest switch-level paths per (src,dst) ToR
-	// pair, computed lazily for KSP/MPTCP routing.
+	// pair, computed lazily for KSP/MPTCP routing. It is bounded to
+	// Cfg.KSPCacheEntries pairs with FIFO eviction (kspOrder[kspHead:] is the
+	// insertion order) so large MPTCP sweeps cannot grow it without limit.
 	kspCache map[[2]int32][][]int32
+	kspOrder [][2]int32
+	kspHead  int
 
 	rng  *rand.Rand
 	pool packetPool
@@ -48,6 +52,16 @@ type Network struct {
 	// average path length actually taken (ECMP ~ shortest, VLB ~ 2x).
 	DataHops      uint64
 	DataDelivered uint64
+
+	// Conservation counters (see internal/validate): every packet handed to
+	// a host NIC is injected; every packet consumed at a host is delivered.
+	// Once the event queue drains, injected == delivered + TotalDrops.
+	PktsInjected  uint64
+	PktsDelivered uint64
+	// Wire-byte accounting for data packets: delivered can never exceed
+	// injected, and delivered must cover every flow's payload at least once.
+	DataBytesInjected  uint64
+	DataBytesDelivered uint64
 }
 
 // Flow is one transfer and its completion record.
@@ -163,6 +177,17 @@ func (n *Network) onDrop(p *Packet) {
 	n.pool.put(p)
 }
 
+// inject hands a packet to its sending host's NIC, counting it for the
+// packet-conservation audit. All transmissions (data and ACK) enter the
+// network through here.
+func (n *Network) inject(host int32, p *Packet) {
+	n.PktsInjected++
+	if !p.IsAck {
+		n.DataBytesInjected += uint64(p.SizeBytes)
+	}
+	n.hostUp[host].Enqueue(p)
+}
+
 // atSwitch routes a packet arriving at (or injected into) switch u.
 func (n *Network) atSwitch(u int32, p *Packet) {
 	if !p.IsAck {
@@ -207,6 +232,7 @@ func (n *Network) atSwitch(u int32, p *Packet) {
 // atHost delivers a packet to a server: ACKs go to the flow's sender, data
 // to its receiver (which responds with an ACK).
 func (n *Network) atHost(host int32, p *Packet) {
+	n.PktsDelivered++
 	if p.IsAck {
 		s := n.senders[p.FlowID]
 		s.onAck(p)
@@ -214,6 +240,7 @@ func (n *Network) atHost(host int32, p *Packet) {
 		return
 	}
 	n.DataDelivered++
+	n.DataBytesDelivered += uint64(p.SizeBytes)
 	r := n.recvs[p.FlowID]
 	r.onData(n, p)
 	n.pool.put(p)
@@ -319,7 +346,10 @@ func (n *Network) flowCompleted(f *Flow) {
 }
 
 // kspPaths returns (and caches) up to Cfg.KSPPaths loopless shortest paths
-// between two ToRs as int32 switch sequences.
+// between two ToRs as int32 switch sequences. The cache is bounded to
+// Cfg.KSPCacheEntries (src,dst) pairs; when full, the oldest entry is
+// evicted first — deterministic, and recomputation is cheap relative to a
+// large MPTCP sweep's working set cycling through many pairs.
 func (n *Network) kspPaths(srcTor, dstTor int32) [][]int32 {
 	key := [2]int32{srcTor, dstTor}
 	if paths, ok := n.kspCache[key]; ok {
@@ -338,9 +368,24 @@ func (n *Network) kspPaths(srcTor, dstTor int32) [][]int32 {
 		}
 		paths = append(paths, conv)
 	}
+	if max := n.Cfg.kspCacheEntries(); len(n.kspCache) >= max {
+		oldest := n.kspOrder[n.kspHead]
+		n.kspHead++
+		delete(n.kspCache, oldest)
+		// Compact the order slice once the dead prefix dominates.
+		if n.kspHead > 64 && n.kspHead*2 >= len(n.kspOrder) {
+			n.kspOrder = append(n.kspOrder[:0], n.kspOrder[n.kspHead:]...)
+			n.kspHead = 0
+		}
+	}
 	n.kspCache[key] = paths
+	n.kspOrder = append(n.kspOrder, key)
 	return paths
 }
+
+// KSPCacheSize returns the number of (src,dst) ToR pairs currently held by
+// the k-shortest-paths cache (bounded by Cfg.KSPCacheEntries).
+func (n *Network) KSPCacheSize() int { return len(n.kspCache) }
 
 // ScheduleFlow injects a flow at absolute time at.
 func (n *Network) ScheduleFlow(at sim.Time, srcServer, dstServer int, sizeBytes int64) {

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzEngineEventOrder checks the 4-ary event heap against a stable-sort
+// oracle: events decoded from the fuzz input (a mix of closure and packet
+// events, including handlers that schedule children) must execute in
+// (time, insertion) order — times never decrease, equal-time events run
+// FIFO, and nothing is lost or duplicated.
+func FuzzEngineEventOrder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 1, 2})
+	f.Add([]byte{9, 3, 9, 3, 0, 200, 7, 7, 7})
+	f.Add([]byte{255, 1, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		eng := NewEngine()
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var execd []rec
+		var scheduled []rec
+		extra := 0 // children scheduled from inside handlers
+		for i, b := range data {
+			i, b := i, b
+			at := Time(b % 32) // small range forces many exact ties
+			scheduled = append(scheduled, rec{at: at, idx: i})
+			handler := func() {
+				execd = append(execd, rec{at: eng.Now(), idx: i})
+				if b%5 == 0 { // some handlers schedule children
+					extra++
+					eng.After(Time(b%3), func() {
+						execd = append(execd, rec{at: eng.Now(), idx: -1})
+					})
+				}
+			}
+			if b%2 == 0 {
+				eng.Schedule(at, handler)
+			} else {
+				eng.SchedulePacket(at, func(any) { handler() }, nil)
+			}
+		}
+		n := eng.RunAll()
+		if int(n) != len(data)+extra {
+			t.Fatalf("executed %d events, scheduled %d", n, len(data)+extra)
+		}
+		// Times never decrease.
+		for i := 1; i < len(execd); i++ {
+			if execd[i].at < execd[i-1].at {
+				t.Fatalf("time went backwards: %d after %d", execd[i].at, execd[i-1].at)
+			}
+		}
+		// Top-level events match a stable sort by time: same multiset of
+		// (time), and among equal times, insertion (idx) order.
+		var top []rec
+		for _, r := range execd {
+			if r.idx >= 0 {
+				top = append(top, r)
+			}
+		}
+		if len(top) != len(scheduled) {
+			t.Fatalf("%d top-level executions, %d scheduled", len(top), len(scheduled))
+		}
+		oracle := append([]rec(nil), scheduled...)
+		sort.SliceStable(oracle, func(a, b int) bool { return oracle[a].at < oracle[b].at })
+		for i := range top {
+			if top[i] != oracle[i] {
+				t.Fatalf("position %d: executed %+v, oracle %+v", i, top[i], oracle[i])
+			}
+		}
+	})
+}

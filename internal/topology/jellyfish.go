@@ -110,18 +110,16 @@ func buildRandomDegreeSequence(degrees []int, rng *rand.Rand) *graph.Graph {
 		}
 	}
 	open := make([]int, 0, n) // switches with free ports
-	for i := 0; i < n; i++ {
-		open = append(open, i)
-	}
+	// Rebuilt from free[] each round: the fix-up below can return a port to a
+	// switch that already left the worklist, so filtering the previous slice
+	// would strand that port and yield an under-degree graph.
 	compact := func() {
-		w := 0
-		for _, u := range open {
-			if free[u] > 0 {
-				open[w] = u
-				w++
+		open = open[:0]
+		for i := 0; i < n; i++ {
+			if free[i] > 0 {
+				open = append(open, i)
 			}
 		}
-		open = open[:w]
 	}
 	stuckRounds := 0
 	for {

