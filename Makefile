@@ -1,14 +1,19 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race vet bench bench-all bench-smoke serve-smoke validate-smoke fuzz-smoke fuzz figures figures-full run examples clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke serve-smoke validate-smoke fuzz-smoke fuzz cover figures figures-full run examples clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: vet bench-smoke serve-smoke validate-smoke fuzz-smoke
-	go test ./...
+test: vet bench-smoke serve-smoke validate-smoke fuzz-smoke cover
+
+# Full test suite with the per-package coverage gate (see README "Coverage
+# gate"): every internal/ package must hold >= 60% statement coverage.
+# covercheck also fails on any FAIL line, so this subsumes `go test ./...`.
+cover:
+	go test -cover ./... | go run ./cmd/covercheck -floor 60 -enforce internal/
 
 # The harness, the experiment drivers, the serving core, the simulators and
 # the parallel graph/flow kernels are the concurrent paths: run them under
@@ -49,8 +54,8 @@ vet:
 # Tracked perf-trajectory benchmarks (see README "Benchmark trajectory"):
 # fixed -benchtime/-count so BENCH_pr<N>.json files are comparable across
 # PRs. Append new kernels to BENCH_PATTERN as they land.
-BENCH_PATTERN := BenchmarkAPSP|BenchmarkPathStats|BenchmarkBFS|BenchmarkDijkstra|BenchmarkLongestMatching|BenchmarkMaxConcurrentFlow|BenchmarkGKMaxConcurrentFlow|BenchmarkServeThroughputCached
-BENCH_OUT := BENCH_pr3.json
+BENCH_PATTERN := BenchmarkAPSP|BenchmarkPathStats|BenchmarkBFS|BenchmarkDijkstra|BenchmarkLongestMatching|BenchmarkMaxConcurrentFlow|BenchmarkGKMaxConcurrentFlow|BenchmarkServeThroughputCached|BenchmarkGKObserverDisabled
+BENCH_OUT := BENCH_pr5.json
 bench:
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -count 3 -benchmem -timeout 0 \
 		./internal/graph ./internal/fluid ./internal/tm ./internal/serve . \

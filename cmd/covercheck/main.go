@@ -1,0 +1,129 @@
+// Command covercheck reads `go test -cover ./...` output on stdin and
+// enforces the repository's per-package coverage floor: every package
+// matching -enforce (default internal/...) must have test files and at
+// least -floor percent statement coverage. It prints a sorted table —
+// lowest coverage first, so the weakest package tops the report — and
+// exits non-zero on any violation, which is how `make cover` gates
+// `make test`.
+//
+// Usage:
+//
+//	go test -cover ./... | covercheck -floor 60 -enforce internal/
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkg is one package's parsed result. covered is false for [no test files];
+// noStmts marks benchmark-only packages with nothing to instrument.
+type pkg struct {
+	name    string
+	percent float64
+	covered bool
+	noStmts bool
+}
+
+var (
+	// okLine matches e.g. `ok  	beyondft/internal/obs	0.51s	coverage: 95.2% of statements`
+	okLine = regexp.MustCompile(`^ok\s+(\S+)\s+.*coverage:\s+([0-9.]+)% of statements`)
+	// noTestLine matches the two shapes go prints for packages without
+	// tests: `?   	pkg	[no test files]` (pre-1.22 and -cover off) and the
+	// tab-indented `	pkg		coverage: 0.0% of statements` (1.22+ with -cover).
+	noTestLine = regexp.MustCompile(`^\?\s+(\S+)\s+\[no test files\]|^\s+(\S+)\s+coverage:\s+0\.0% of statements$`)
+	// noStmtLine matches `ok  	pkg	0.1s	coverage: [no statements] ...`:
+	// test files exist but nothing is instrumentable (benchmark-only pkgs).
+	noStmtLine = regexp.MustCompile(`^ok\s+(\S+)\s+.*coverage:\s+\[no statements\]`)
+	// failLine catches test failures so a broken package can't slip through
+	// as "no coverage reported".
+	failLine = regexp.MustCompile(`^(FAIL|---\s*FAIL)\s+(\S+)`)
+)
+
+func main() {
+	floor := flag.Float64("floor", 60, "minimum statement coverage percent for enforced packages")
+	enforce := flag.String("enforce", "internal/", "enforce the floor on packages whose import path contains this substring")
+	flag.Parse()
+
+	var pkgs []pkg
+	var failed []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := okLine.FindStringSubmatch(line); m != nil {
+			p, _ := strconv.ParseFloat(m[2], 64)
+			pkgs = append(pkgs, pkg{name: m[1], percent: p, covered: true})
+		} else if m := noStmtLine.FindStringSubmatch(line); m != nil {
+			pkgs = append(pkgs, pkg{name: m[1], covered: true, noStmts: true})
+		} else if m := noTestLine.FindStringSubmatch(line); m != nil {
+			name := m[1]
+			if name == "" {
+				name = m[2]
+			}
+			pkgs = append(pkgs, pkg{name: name})
+		} else if m := failLine.FindStringSubmatch(line); m != nil && m[2] != "" {
+			failed = append(failed, m[2])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "covercheck: no `go test -cover` package lines on stdin")
+		os.Exit(1)
+	}
+
+	// Lowest coverage first; no-test packages before everything.
+	sort.Slice(pkgs, func(i, j int) bool {
+		if pkgs[i].covered != pkgs[j].covered {
+			return !pkgs[i].covered
+		}
+		if pkgs[i].percent != pkgs[j].percent {
+			return pkgs[i].percent < pkgs[j].percent
+		}
+		return pkgs[i].name < pkgs[j].name
+	})
+
+	violations := len(failed)
+	fmt.Printf("%-45s %9s  %s\n", "package", "coverage", "status")
+	for _, p := range pkgs {
+		enforced := strings.Contains(p.name, *enforce)
+		status := "-"
+		switch {
+		case p.noStmts:
+			status = "no statements"
+		case !p.covered && enforced:
+			status = fmt.Sprintf("FAIL (no test files, floor %.0f%%)", *floor)
+			violations++
+		case !p.covered:
+			status = "no test files"
+		case enforced && p.percent < *floor:
+			status = fmt.Sprintf("FAIL (floor %.0f%%)", *floor)
+			violations++
+		case enforced:
+			status = "ok"
+		}
+		cov := "-"
+		if p.covered && !p.noStmts {
+			cov = fmt.Sprintf("%.1f%%", p.percent)
+		}
+		fmt.Printf("%-45s %9s  %s\n", p.name, cov, status)
+	}
+	for _, f := range failed {
+		fmt.Printf("%-45s %9s  FAIL (tests failed)\n", f, "-")
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "covercheck: %d package(s) violate the coverage gate\n", violations)
+		os.Exit(1)
+	}
+	fmt.Printf("covercheck: %d packages, floor %.0f%% on *%s* — all pass\n",
+		len(pkgs), *floor, *enforce)
+}

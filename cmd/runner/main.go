@@ -76,6 +76,8 @@ commands:
            -seed N      base random seed (default 1)
            -timeout D   stop dispatching new jobs after D; already-running
                         jobs finish (default none)
+           -trace       record + print a span tree per job (cache-probe /
+                        compute / encode stages; persisted in manifest.json)
   status   summarize a previous run
            -out DIR     run directory to read (default %s)
            -cache DIR   cache to report stats for (default %s)
@@ -129,6 +131,7 @@ func cmdRun(args []string) error {
 	full := fs.Bool("full", false, "paper-scale configuration (slow)")
 	seed := fs.Int64("seed", 1, "base random seed")
 	timeout := fs.Duration("timeout", 0, "stop dispatching new jobs after this long; running jobs finish (0 = none)")
+	trace := fs.Bool("trace", false, "record per-job span trees (printed after the run, persisted in manifest.json)")
 	fs.Parse(args)
 
 	cfg := config(*full, *seed)
@@ -153,6 +156,7 @@ func cmdRun(args []string) error {
 		Salt:     experiments.CodeSalt,
 		OutDir:   *outDir,
 		Progress: os.Stderr,
+		Trace:    *trace,
 	}
 	if !*noCache {
 		if opt.Cache, err = harness.OpenCache(*cacheDir); err != nil {
@@ -174,6 +178,11 @@ func cmdRun(args []string) error {
 	mp, err := harness.WriteManifest(*outDir, rep, cd)
 	if err != nil {
 		return err
+	}
+	if *trace {
+		for _, jr := range rep.Jobs {
+			jr.Trace.Fprint(os.Stdout)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "runner: manifest=%s artifacts=%s\n", mp, *outDir)
 	return rep.Err()

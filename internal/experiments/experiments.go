@@ -112,6 +112,12 @@ type Config struct {
 	MeasureStart sim.Time
 	MeasureEnd   sim.Time
 	MaxSimTime   sim.Time
+
+	// keepWindows makes drivers honour the configured measurement window
+	// verbatim instead of substituting their per-figure scaled defaults.
+	// Unexported so it never enters job specs or cache keys (JSON skips
+	// unexported fields); tests use it to run drivers on tiny windows.
+	keepWindows bool
 }
 
 // DefaultConfig returns the laptop-scale configuration.

@@ -19,7 +19,7 @@ import (
 // skewed workload of §6.7. RotorNet gets the same ToR count as the Xpander
 // and 1/δ of its network ports (δ = 1.5), per the §7 comparison rules.
 func (c Config) ExtensionRotorNet() []*Figure {
-	if !c.Full {
+	if !c.Full && !c.keepWindows {
 		c.MeasureStart = 100 * sim.Millisecond
 		c.MeasureEnd = 500 * sim.Millisecond
 		c.MaxSimTime = 1200 * sim.Millisecond

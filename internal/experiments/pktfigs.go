@@ -84,7 +84,7 @@ func (c Config) lambdaSweep(id, title string, setups []pktSetup,
 func (c Config) Figure7b() []*Figure {
 	// Few active servers -> few flows per unit time: stretch the scaled
 	// measurement window so each point averages hundreds of flows.
-	if !c.Full {
+	if !c.Full && !c.keepWindows {
 		c.MeasureStart = 100 * sim.Millisecond
 		c.MeasureEnd = 600 * sim.Millisecond
 		c.MaxSimTime = 1500 * sim.Millisecond
@@ -124,8 +124,10 @@ func (c Config) Figure7c() []*Figure {
 	if !c.Full {
 		// All 128 servers are active: points are expensive, so the scaled
 		// run uses a tighter window, an early overload cap and fewer points.
-		c.MeasureEnd = c.MeasureStart + 25*sim.Millisecond
-		c.MaxSimTime = 200 * sim.Millisecond
+		if !c.keepWindows {
+			c.MeasureEnd = c.MeasureStart + 25*sim.Millisecond
+			c.MaxSimTime = 200 * sim.Millisecond
+		}
 		perServer = []float64{50, 170, 290}
 	}
 	ft := c.BaselineFatTree()
@@ -178,7 +180,7 @@ func Figure8FlowSizes() *Figure {
 // fractionSweep runs the Fig. 9/10 style experiments: fixed per-server
 // arrival rate, increasing active-server fraction.
 func (c Config) fractionSweep(id, title string, permute bool) []*Figure {
-	if !c.Full {
+	if !c.Full && !c.keepWindows {
 		c.MaxSimTime = 500 * sim.Millisecond
 	}
 	ft := c.BaselineFatTree()
@@ -252,7 +254,7 @@ func (c Config) Figure10() []*Figure {
 // Figure11 runs Permute(0.31) across arrival rates, including the
 // 77%-cost oversubscribed fat-tree (Fig. 11a–c).
 func (c Config) Figure11() []*Figure {
-	if !c.Full {
+	if !c.Full && !c.keepWindows {
 		c.MaxSimTime = 500 * sim.Millisecond
 	}
 	ft := c.BaselineFatTree()
@@ -288,7 +290,7 @@ func (c Config) Figure11() []*Figure {
 // Figure12 is A2A(0.31) under the Pareto-HULL sizes: 99th-pct short-flow
 // FCT across (much higher) arrival rates.
 func (c Config) Figure12() []*Figure {
-	if !c.Full {
+	if !c.Full && !c.keepWindows {
 		c.MaxSimTime = 500 * sim.Millisecond
 	}
 	ft := c.BaselineFatTree()
@@ -331,7 +333,7 @@ func (c Config) projecToRXpander() *topology.Xpander {
 func (c Config) skewedComparison(id, title string, mkPairs func(t *topology.Topology, salt int64) workload.PairDist,
 	ft *topology.FatTree, xp *topology.Xpander, perServer []float64) []*Figure {
 	// Low per-server arrival rates: stretch the scaled window for sample size.
-	if !c.Full {
+	if !c.Full && !c.keepWindows {
 		c.MeasureStart = 100 * sim.Millisecond
 		c.MeasureEnd = 500 * sim.Millisecond
 		c.MaxSimTime = 1200 * sim.Millisecond
@@ -399,7 +401,7 @@ func (c Config) Figure14() []*Figure {
 // Figure15 is the larger-scale skewed comparison: a k=24 fat-tree against an
 // Xpander at 45% of its cost (k=8 vs a 44%-cost Xpander scaled).
 func (c Config) Figure15() []*Figure {
-	if !c.Full {
+	if !c.Full && !c.keepWindows {
 		c.MeasureStart = 100 * sim.Millisecond
 		c.MeasureEnd = 500 * sim.Millisecond
 		c.MaxSimTime = 1200 * sim.Millisecond

@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"beyondft/internal/sim"
 	"beyondft/internal/topology"
@@ -96,6 +97,43 @@ type Network struct {
 	// Recomputed allocation state.
 	dirty  bool
 	idsBuf []int32
+
+	// Event-loop statistics (see Stats).
+	loopEvents    uint64
+	allocRounds   uint64
+	heapHighWater int
+	wall          time.Duration
+}
+
+// LoopStats summarizes the flow-level event loop for observability: event
+// instants processed, max-min reallocation rounds, the arrival-heap depth
+// high water, and the simulated-time/wall-time relation of all Run calls.
+type LoopStats struct {
+	Events        uint64        `json:"events"`
+	AllocRounds   uint64        `json:"alloc_rounds"`
+	HeapHighWater int           `json:"heap_high_water"`
+	SimTime       sim.Time      `json:"sim_time_ns"`
+	WallTime      time.Duration `json:"wall_time_ns"`
+}
+
+// SimPerWall reports simulated nanoseconds covered per wall-clock
+// nanosecond spent inside Run; 0 before any Run call.
+func (s LoopStats) SimPerWall() float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return float64(s.SimTime) / float64(s.WallTime)
+}
+
+// Stats returns a snapshot of the network's loop statistics.
+func (n *Network) Stats() LoopStats {
+	return LoopStats{
+		Events:        n.loopEvents,
+		AllocRounds:   n.allocRounds,
+		HeapHighWater: n.heapHighWater,
+		SimTime:       n.now,
+		WallTime:      n.wall,
+	}
 }
 
 type arrival struct {
@@ -254,6 +292,9 @@ func (n *Network) ScheduleFlow(at sim.Time, src, dst int, size int64) {
 	}
 	n.arrSeq++
 	n.pending.push(arrival{at: at, seq: n.arrSeq, src: src, dst: dst, size: size})
+	if len(n.pending) > n.heapHighWater {
+		n.heapHighWater = len(n.pending)
+	}
 }
 
 func (n *Network) startFlow(a arrival) *Flow {
@@ -292,6 +333,7 @@ func (n *Network) allocate() {
 			links[l].flows++
 		}
 	}
+	n.allocRounds++
 	unfrozen := len(ids)
 	for unfrozen > 0 {
 		// Find the bottleneck link: minimal fair share among links with
@@ -355,6 +397,8 @@ const completeEps = 1e-6
 // completeEps finishes, in ID order; an arrival tying with a departure can
 // no longer postpone the completion by an extra allocation round.
 func (n *Network) Run(until sim.Time) {
+	wall := time.Now()
+	defer func() { n.wall += time.Since(wall) }()
 	for n.now < until {
 		if n.dirty {
 			n.allocate()
@@ -398,6 +442,7 @@ func (n *Network) Run(until sim.Time) {
 		if !eventDue {
 			return // horizon reached
 		}
+		n.loopEvents++
 		// Complete every flow that has finished by this instant, in ID order.
 		for _, id := range ids {
 			f := n.active[id]

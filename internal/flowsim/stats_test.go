@@ -1,0 +1,45 @@
+package flowsim
+
+import (
+	"testing"
+
+	"beyondft/internal/sim"
+)
+
+func TestLoopStats(t *testing.T) {
+	n := NewNetwork(pairTopo(4), DefaultConfig())
+	if s := n.Stats(); s != (LoopStats{}) {
+		t.Fatalf("fresh network has non-zero stats: %+v", s)
+	}
+
+	// Three arrivals queued up front: the arrival-heap high water must see
+	// all of them before the first one starts.
+	n.ScheduleFlow(0, 0, 4, 1_000_000)
+	n.ScheduleFlow(sim.Millisecond, 1, 5, 1_000_000)
+	n.ScheduleFlow(2*sim.Millisecond, 2, 6, 1_000_000)
+	n.Run(sim.Second)
+
+	s := n.Stats()
+	if s.HeapHighWater != 3 {
+		t.Fatalf("heap high water %d, want 3", s.HeapHighWater)
+	}
+	// At least one event instant per arrival and per departure.
+	if s.Events < 6 {
+		t.Fatalf("events %d, want >= 6", s.Events)
+	}
+	// Every arrival and departure dirties the allocation.
+	if s.AllocRounds < 4 {
+		t.Fatalf("alloc rounds %d, want >= 4", s.AllocRounds)
+	}
+	if s.SimTime != n.Now() {
+		t.Fatalf("sim time %d != Now() %d", s.SimTime, n.Now())
+	}
+	if s.WallTime <= 0 || s.SimPerWall() <= 0 {
+		t.Fatalf("wall accounting missing: %+v", s)
+	}
+	for _, f := range n.Flows() {
+		if !f.Done {
+			t.Fatal("flow incomplete")
+		}
+	}
+}

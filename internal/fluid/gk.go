@@ -29,6 +29,48 @@ type GKOptions struct {
 	// call — the serving daemon uses this to propagate per-request
 	// deadlines and client disconnects into long solves.
 	Ctx context.Context
+	// Observer, if non-nil, receives solver progress (phase boundaries and
+	// a final summary). The disabled cost is one interface nil check per
+	// phase plus an integer iteration counter — no allocations
+	// (BenchmarkGKObserverDisabled asserts 0 allocs/op on the hook path),
+	// so PR 2's hot-path wins are untouched.
+	Observer GKObserver
+}
+
+// GKObserver receives Garg–Könemann solver progress. Implementations must
+// be cheap: GKPhase fires once per phase while lengths and flows are
+// mid-update, so it must not call back into the solver.
+type GKObserver interface {
+	// GKPhase fires at every phase boundary, after the phase's dual-bound
+	// update and before its routing loop: the 1-based phase number, total
+	// routing Dijkstras so far, the current D(l) potential, and the best
+	// dual bound observed (OPT ≤ dualBound).
+	GKPhase(phase, iterations int, d, dualBound float64)
+	// GKDone fires exactly once for every solve that enters the phase loop
+	// (degenerate inputs — no commodities, no arcs — skip it), with the
+	// final counts and the certified primal/dual pair.
+	GKDone(phases, iterations int, primal, dual float64)
+}
+
+// GKTelemetry is a ready-made GKObserver for callers that want final
+// numbers rather than a stream: it records the last phase snapshot and the
+// done summary. Not safe for use across concurrent solves.
+type GKTelemetry struct {
+	Phases     int
+	Iterations int
+	Primal     float64
+	Dual       float64
+	Done       bool
+}
+
+// GKPhase implements GKObserver.
+func (t *GKTelemetry) GKPhase(phase, iterations int, d, dualBound float64) {
+	t.Phases, t.Iterations, t.Dual = phase, iterations, dualBound
+}
+
+// GKDone implements GKObserver.
+func (t *GKTelemetry) GKDone(phases, iterations int, primal, dual float64) {
+	t.Phases, t.Iterations, t.Primal, t.Dual, t.Done = phases, iterations, primal, dual, true
 }
 
 // GKResult reports the solve outcome.
@@ -119,6 +161,7 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 	sp := states[0] // routing reuses worker 0's scratch between phases
 	parent := make([]int32, nw.N)
 	phases := 0
+	iters := 0 // routing Dijkstras, reported through the observer
 	for D < 1 && phases < maxPhases {
 		if opt.Ctx != nil && opt.Ctx.Err() != nil {
 			break // canceled: fall through to the primal value routed so far
@@ -148,6 +191,9 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 				dualBound = b
 			}
 		}
+		if opt.Observer != nil {
+			opt.Observer.GKPhase(phases, iters, D, dualBound)
+		}
 		// Early exit once the certified primal is within ε of the dual bound.
 		if phases%8 == 0 {
 			if p := primalValue(nw, live, flow, routed); p >= (1-eps)*dualBound {
@@ -161,7 +207,11 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 				// Only dist[c.Dst] and the parent chain behind it are
 				// needed, so the Dijkstra stops as soon as dst settles.
 				d := sp.dijkstra(c.Src, length, parent, nil, c.Dst)
+				iters++
 				if math.IsInf(d[c.Dst], 1) {
+					if opt.Observer != nil {
+						opt.Observer.GKDone(phases, iters, 0, 0)
+					}
 					return GKResult{Throughput: 0, UpperBound: 0, Phases: phases}
 				}
 				// Bottleneck along the path.
@@ -195,6 +245,9 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 	thr := primalValue(nw, live, flow, routed)
 	if thr > dualBound {
 		thr = dualBound // numerical safety: primal cannot beat the dual bound
+	}
+	if opt.Observer != nil {
+		opt.Observer.GKDone(phases, iters, thr, dualBound)
 	}
 	return GKResult{Throughput: thr, UpperBound: dualBound, Phases: phases}
 }

@@ -10,6 +10,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"beyondft/internal/obs"
 )
 
 // Options configures one harness run.
@@ -28,6 +30,11 @@ type Options struct {
 	// Progress, if non-nil, receives one structured line per completed job
 	// plus a summary line (key=value pairs, greppable).
 	Progress io.Writer
+	// Trace records a per-job span tree (cache-probe / decode / compute /
+	// encode / artifacts stages) into each JobReport, and from there into
+	// the run's manifest.json. Off by default: traces cost a handful of
+	// small allocations per job and grow the manifest.
+	Trace bool
 }
 
 // JobReport is the outcome of one job within a run.
@@ -38,6 +45,12 @@ type JobReport struct {
 	DurationMs float64  `json:"duration_ms"`
 	Err        string   `json:"error,omitempty"`
 	Artifacts  []string `json:"artifacts,omitempty"`
+
+	// Trace is the job's span tree, recorded when Options.Trace is set and
+	// persisted into the run manifest. Stage durations sum to the job wall
+	// time (up to scheduling noise), so a manifest alone answers "where did
+	// this job spend its time".
+	Trace *obs.Record `json:"trace,omitempty"`
 
 	// Value is the decoded result, available in-process only.
 	Value any `json:"-"`
@@ -154,12 +167,22 @@ dispatch:
 }
 
 // runOne executes a single job: cache lookup, compute on miss (with panic
-// recovery), cache store, artifact rendering.
+// recovery), cache store, artifact rendering. With Options.Trace each stage
+// runs under a span of the job's trace; root is nil otherwise and every obs
+// call degrades to a nil check.
 func runOne(ctx context.Context, job Job, salt string, opt Options) (jr JobReport) {
 	jr = JobReport{Name: job.Name, Key: Key(job.Name, job.Spec, salt)}
+	var root *obs.Span
+	if opt.Trace {
+		root = obs.StartSpan(job.Name)
+	}
 	start := time.Now()
 	// Named return: the defer must observe every early return path.
-	defer func() { jr.DurationMs = float64(time.Since(start)) / float64(time.Millisecond) }()
+	defer func() {
+		jr.DurationMs = float64(time.Since(start)) / float64(time.Millisecond)
+		root.End()
+		jr.Trace = root.Record()
+	}()
 
 	if err := ctx.Err(); err != nil {
 		jr.Err = err.Error()
@@ -168,7 +191,9 @@ func runOne(ctx context.Context, job Job, salt string, opt Options) (jr JobRepor
 
 	var raw json.RawMessage
 	if opt.Cache != nil {
+		sp := root.Child("cache-probe")
 		cached, hit, err := opt.Cache.Get(jr.Key)
+		sp.End()
 		if err != nil {
 			jr.Err = err.Error()
 			return jr
@@ -181,30 +206,43 @@ func runOne(ctx context.Context, job Job, salt string, opt Options) (jr JobRepor
 
 	var value any
 	if jr.Cached {
+		sp := root.Child("decode")
 		var err error
 		if value, err = decode(job, raw); err != nil {
 			// A cached entry the job can no longer decode means the result
 			// schema drifted without a salt bump: recompute rather than fail.
 			jr.Cached = false
 		}
+		sp.End()
 	}
 	if !jr.Cached {
+		sp := root.Child("compute")
 		var err error
-		value, err = safeRun(ctx, job)
+		// The compute stage runs under a pprof job label (so CPU profiles
+		// attribute samples per job) and carries its span in the context,
+		// letting instrumented callees hang sub-spans off the trace.
+		obs.Do(obs.ContextWithSpan(ctx, sp), "job", job.Name, func(ctx context.Context) {
+			value, err = safeRun(ctx, job)
+		})
+		sp.End()
 		if err != nil {
 			jr.Err = err.Error()
 			return jr
 		}
 		if opt.Cache != nil {
+			sp := root.Child("encode")
 			data, err := json.Marshal(value)
 			if err != nil {
+				sp.End()
 				jr.Err = fmt.Sprintf("encode result: %v", err)
 				return jr
 			}
-			if err := opt.Cache.Put(jr.Key, Entry{
+			err = opt.Cache.Put(jr.Key, Entry{
 				Job: job.Name, Spec: job.Spec, Salt: salt,
 				CreatedAt: time.Now().UTC(), Result: data,
-			}); err != nil {
+			})
+			sp.End()
+			if err != nil {
 				jr.Err = err.Error()
 				return jr
 			}
@@ -213,7 +251,9 @@ func runOne(ctx context.Context, job Job, salt string, opt Options) (jr JobRepor
 	jr.Value = value
 
 	if opt.OutDir != "" && job.Artifacts != nil {
+		sp := root.Child("artifacts")
 		paths, err := job.Artifacts(value, opt.OutDir)
+		sp.End()
 		if err != nil {
 			jr.Err = fmt.Sprintf("artifacts: %v", err)
 			return jr

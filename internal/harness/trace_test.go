@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// traceJob is a deterministic job that burns ~real time in compute so the
+// stage-sum assertion has signal.
+func traceJob(name string) Job {
+	return Job{
+		Name: name,
+		Spec: "{}",
+		Run: func(ctx context.Context) (any, error) {
+			time.Sleep(20 * time.Millisecond)
+			return map[string]int{"v": 42}, nil
+		},
+	}
+}
+
+func TestRunTraceStagesSumToWallTime(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Workers: 1, Cache: cache, Trace: true}
+
+	rep, err := Run(context.Background(), []Job{traceJob("tj")}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := rep.Jobs[0]
+	if jr.Err != "" || jr.Cached {
+		t.Fatalf("unexpected first run: %+v", jr)
+	}
+	if jr.Trace == nil || jr.Trace.Name != "tj" {
+		t.Fatalf("missing trace: %+v", jr.Trace)
+	}
+	stages := map[string]float64{}
+	sum := 0.0
+	for _, c := range jr.Trace.Children {
+		stages[c.Name] = c.DurMs
+		sum += c.DurMs
+	}
+	if _, ok := stages["cache-probe"]; !ok {
+		t.Fatalf("no cache-probe stage: %v", stages)
+	}
+	if _, ok := stages["compute"]; !ok {
+		t.Fatalf("no compute stage: %v", stages)
+	}
+	if _, ok := stages["encode"]; !ok {
+		t.Fatalf("no encode stage: %v", stages)
+	}
+	// The acceptance bar: stage timings sum to the job wall time within 5%.
+	if math.Abs(sum-jr.DurationMs) > 0.05*jr.DurationMs {
+		t.Fatalf("stages sum to %.3fms, job wall %.3fms (>5%% apart); trace %+v",
+			sum, jr.DurationMs, jr.Trace)
+	}
+	if math.Abs(jr.Trace.DurMs-jr.DurationMs) > 0.05*jr.DurationMs {
+		t.Fatalf("root span %.3fms vs wall %.3fms", jr.Trace.DurMs, jr.DurationMs)
+	}
+
+	// Second run hits the cache: trace shows probe+decode, no compute.
+	rep2, err := Run(context.Background(), []Job{traceJob("tj")}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr2 := rep2.Jobs[0]
+	if !jr2.Cached || jr2.Trace == nil {
+		t.Fatalf("expected cached traced run: %+v", jr2)
+	}
+	names := map[string]bool{}
+	for _, c := range jr2.Trace.Children {
+		names[c.Name] = true
+	}
+	if !names["cache-probe"] || !names["decode"] || names["compute"] {
+		t.Fatalf("cached-run stages wrong: %v", names)
+	}
+}
+
+func TestRunWithoutTraceHasNone(t *testing.T) {
+	rep, err := Run(context.Background(), []Job{traceJob("tj")}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs[0].Trace != nil {
+		t.Fatalf("untraced run produced a trace: %+v", rep.Jobs[0].Trace)
+	}
+}
+
+func TestManifestPersistsTraces(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Run(context.Background(), []Job{traceJob("tj")}, Options{Workers: 1, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteManifest(dir, rep, ""); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Jobs[0].Trace
+	if tr == nil || tr.Name != "tj" || len(tr.Children) == 0 {
+		data, _ := json.Marshal(m.Jobs[0])
+		t.Fatalf("trace lost through the manifest: %s", data)
+	}
+}

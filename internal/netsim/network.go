@@ -64,6 +64,13 @@ type Network struct {
 	DataBytesDelivered uint64
 }
 
+// LoopStats exposes the underlying event engine's loop statistics (events
+// processed, heap-depth high water, simulated/wall time) for observability:
+// together with the packet counters below, it answers "how hard did this
+// run work" without any per-packet bookkeeping beyond what sim already
+// keeps.
+func (n *Network) LoopStats() sim.LoopStats { return n.Eng.Stats() }
+
 // Flow is one transfer and its completion record.
 type Flow struct {
 	ID        int32

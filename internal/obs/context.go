@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying the span, so layers that only
+// see a context (harness jobs, serve's compute closures, GK via GKOptions)
+// can hang child spans off the request's trace. A nil span returns ctx
+// unchanged — no allocation when tracing is off.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil. The nil result
+// is itself a valid no-op span, so callers never branch.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Do runs f with a runtime/pprof label attached, so CPU and goroutine
+// profiles attribute samples to the unit of work (e.g. job=fig9,
+// endpoint=/v1/throughput). Labels propagate to goroutines started inside
+// f via the context.
+func Do(ctx context.Context, key, value string, f func(context.Context)) {
+	pprof.Do(ctx, pprof.Labels(key, value), f)
+}

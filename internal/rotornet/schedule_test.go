@@ -1,0 +1,128 @@
+package rotornet
+
+import "testing"
+
+// TestScheduleRoundStructure is the table-driven schedule-correctness sweep:
+// for even N the circle method must emit N−1 perfect matchings (every ToR
+// paired every round); for odd N, N rounds where each ToR sits out ("bye")
+// exactly once.
+func TestScheduleRoundStructure(t *testing.T) {
+	cases := []struct {
+		n          int
+		wantRounds int
+	}{
+		{n: 2, wantRounds: 1},
+		{n: 4, wantRounds: 3},
+		{n: 5, wantRounds: 5},
+		{n: 8, wantRounds: 7},
+		{n: 9, wantRounds: 9},
+		{n: 16, wantRounds: 15},
+		{n: 17, wantRounds: 17},
+		{n: 32, wantRounds: 31},
+	}
+	for _, tc := range cases {
+		rounds := roundRobinSchedule(tc.n)
+		if len(rounds) != tc.wantRounds {
+			t.Errorf("n=%d: %d rounds, want %d", tc.n, len(rounds), tc.wantRounds)
+			continue
+		}
+		byes := make([]int, tc.n)
+		for r, peer := range rounds {
+			if len(peer) != tc.n {
+				t.Fatalf("n=%d round %d: %d entries", tc.n, r, len(peer))
+			}
+			roundByes := 0
+			for i, p := range peer {
+				switch {
+				case p == -1:
+					roundByes++
+					byes[i]++
+				case p == i:
+					t.Fatalf("n=%d round %d: ToR %d matched to itself", tc.n, r, i)
+				case p < 0 || p >= tc.n:
+					t.Fatalf("n=%d round %d: ToR %d matched to out-of-range %d", tc.n, r, i, p)
+				case peer[p] != i:
+					t.Fatalf("n=%d round %d: asymmetric match %d->%d->%d", tc.n, r, i, p, peer[p])
+				}
+			}
+			if wantByes := tc.n % 2; roundByes != wantByes {
+				t.Errorf("n=%d round %d: %d byes, want %d", tc.n, r, roundByes, wantByes)
+			}
+		}
+		// Odd N: the bye rotates, so each ToR rests exactly once per period.
+		if tc.n%2 == 1 {
+			for i, b := range byes {
+				if b != 1 {
+					t.Errorf("n=%d: ToR %d has %d byes over the period, want 1", tc.n, i, b)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleSlotCoverage pins down coverage at the network level: across
+// one schedule period every ToR talks to every other ToR exactly once, so
+// RotorNet's direct path has bounded worst-case slot delay N−1 (even N).
+func TestScheduleSlotCoverage(t *testing.T) {
+	for _, n := range []int{4, 6, 8, 16, 32} {
+		rounds := roundRobinSchedule(n)
+		met := make([][]int, n)
+		for i := range met {
+			met[i] = make([]int, n)
+		}
+		for _, peer := range rounds {
+			for i, p := range peer {
+				if p >= 0 {
+					met[i][p]++
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 1
+				if i == j {
+					want = 0
+				}
+				if met[i][j] != want {
+					t.Fatalf("n=%d: ToR %d meets %d %d times over the period, want %d",
+						n, i, j, met[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestPortStaggering verifies the multi-port layout: within one slot,
+// distinct rotor ports of a ToR must present distinct matchings (otherwise
+// extra ports add no reachability), and over a full period every port still
+// cycles through the entire schedule.
+func TestPortStaggering(t *testing.T) {
+	cases := []struct{ tors, ports int }{
+		{8, 2}, {8, 3}, {16, 4}, {17, 4},
+	}
+	for _, tc := range cases {
+		n := NewNetwork(DefaultConfig(tc.tors, 4, tc.ports))
+		rounds := len(n.matchings)
+		for slot := int64(0); slot < int64(rounds); slot++ {
+			seen := map[*int]bool{} // identity of the round slice, via &round[0]
+			for p := 0; p < tc.ports; p++ {
+				m := n.matchingFor(slot, p)
+				if seen[&m[0]] {
+					t.Fatalf("tors=%d ports=%d slot=%d: two ports share a matching",
+						tc.tors, tc.ports, slot)
+				}
+				seen[&m[0]] = true
+			}
+		}
+		for p := 0; p < tc.ports; p++ {
+			used := map[*int]bool{}
+			for slot := int64(0); slot < int64(rounds); slot++ {
+				used[&n.matchingFor(slot, p)[0]] = true
+			}
+			if len(used) != rounds {
+				t.Fatalf("tors=%d port %d visits %d/%d rounds over a period",
+					tc.tors, p, len(used), rounds)
+			}
+		}
+	}
+}

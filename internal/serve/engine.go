@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"beyondft/internal/harness"
+	"beyondft/internal/obs"
 )
 
 // Source says where a response's bytes came from.
@@ -116,14 +117,20 @@ func (e *Engine) L1Stats() harness.LRUStats { return e.l1.Stats() }
 // The returned bytes are shared with the cache and must not be mutated.
 func (e *Engine) Do(ctx context.Context, name, spec, salt string,
 	compute func(context.Context) (json.RawMessage, error)) (data json.RawMessage, key string, src Source, err error) {
+	sp := obs.SpanFromContext(ctx)
 	key = harness.Key(name, spec, salt)
-	if data, ok := e.l1.Get(key); ok {
+	probe := sp.Child("l1-probe")
+	data, ok := e.l1.Get(key)
+	probe.End()
+	if ok {
 		e.metrics.L1Hits.Add(1)
 		return data, key, SourceL1, nil
 	}
 	c, leader := e.flights.join(key)
 	if !leader {
 		e.metrics.Coalesced.Add(1)
+		wait := sp.Child("coalesce-wait")
+		defer wait.End()
 		select {
 		case <-c.done:
 			if c.err != nil {
@@ -137,17 +144,21 @@ func (e *Engine) Do(ctx context.Context, name, spec, salt string,
 			return nil, key, "", ctx.Err()
 		}
 	}
-	c.data, c.src, c.err = e.lookupOrCompute(ctx, key, name, spec, salt, compute)
+	c.data, c.src, c.err = e.lookupOrCompute(ctx, sp, key, name, spec, salt, compute)
 	e.flights.finish(key, c)
 	return c.data, key, c.src, c.err
 }
 
 // lookupOrCompute is the leader's path: disk tier, then admission-gated
-// compute, storing fresh results into both tiers.
-func (e *Engine) lookupOrCompute(ctx context.Context, key, name, spec, salt string,
+// compute, storing fresh results into both tiers. Stage spans hang off sp
+// (nil when the request is untraced) and the compute runs under pprof
+// labels so CPU profiles attribute samples to the endpoint.
+func (e *Engine) lookupOrCompute(ctx context.Context, sp *obs.Span, key, name, spec, salt string,
 	compute func(context.Context) (json.RawMessage, error)) (json.RawMessage, Source, error) {
 	if e.l2 != nil {
+		l2sp := sp.Child("l2-probe")
 		data, hit, err := e.l2.Get(key)
+		l2sp.End()
 		if err != nil && e.logf != nil {
 			e.logf("serve: l2 read key=%.12s…: %v (recomputing)", key, err)
 		}
@@ -157,7 +168,10 @@ func (e *Engine) lookupOrCompute(ctx context.Context, key, name, spec, salt stri
 			return data, SourceL2, nil
 		}
 	}
-	if err := e.adm.acquire(ctx); err != nil {
+	admSp := sp.Child("admission")
+	err := e.adm.acquire(ctx)
+	admSp.End()
+	if err != nil {
 		if err == errSaturated {
 			e.metrics.Rejected.Add(1)
 		}
@@ -167,7 +181,12 @@ func (e *Engine) lookupOrCompute(ctx context.Context, key, name, spec, salt stri
 	if e.computeStarted != nil {
 		e.computeStarted(key)
 	}
-	data, err := safeCompute(ctx, compute)
+	compSp := sp.Child("compute")
+	var data json.RawMessage
+	obs.Do(obs.ContextWithSpan(ctx, compSp), "query", name, func(ctx context.Context) {
+		data, err = safeCompute(ctx, compute)
+	})
+	compSp.End()
 	if err != nil {
 		return nil, "", err
 	}
@@ -178,6 +197,8 @@ func (e *Engine) lookupOrCompute(ctx context.Context, key, name, spec, salt stri
 		return nil, "", ctx.Err()
 	}
 	e.metrics.Computed.Add(1)
+	storeSp := sp.Child("store")
+	defer storeSp.End()
 	e.l1.Put(key, data)
 	if e.l2 != nil {
 		if err := e.l2.Put(key, harness.Entry{

@@ -3,125 +3,65 @@ package serve
 import (
 	"fmt"
 	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
-	"time"
+
+	"beyondft/internal/obs"
 )
 
-// latencyBucketsMs are the fixed upper bounds (milliseconds, cumulative) of
-// the per-endpoint latency histograms. Fixed buckets keep observation
-// lock-free — one atomic increment — and make /metrics output directly
-// comparable across runs and instances.
-var latencyBucketsMs = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
-
-// Histogram is a fixed-bucket cumulative latency histogram. All fields are
-// atomics; Observe never blocks.
-type Histogram struct {
-	buckets [len(latencyBucketsMs) + 1]atomic.Int64 // last bucket = +Inf
-	count   atomic.Int64
-	sumUs   atomic.Int64 // total microseconds, for the _sum series
-}
-
-// Observe records one request duration.
-func (h *Histogram) Observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := 0
-	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
-		i++
-	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumUs.Add(int64(d / time.Microsecond))
-}
-
-// Metrics is the daemon's observability surface: atomic request/cache/
-// rejection counters plus one latency histogram per endpoint. The hot path
-// touches only atomics; the endpoint map is append-only under a mutex and
-// handlers cache their histogram pointer at route-registration time.
+// Metrics is the daemon's observability surface. Every instrument lives in
+// one shared obs.Registry — the same object renders /metrics and backs the
+// programmatic counters (manifest totals, tests, CLI status output), so the
+// two can never drift: a counter registered here is on /metrics by
+// construction.
+//
+// The hot path touches only atomics; histograms are created on first use
+// per endpoint and handlers cache their pointer at route-registration time.
 type Metrics struct {
-	Requests  atomic.Int64 // requests entering a /v1 handler
-	Coalesced atomic.Int64 // requests served by joining an identical in-flight compute
-	L1Hits    atomic.Int64 // in-memory LRU hits
-	L2Hits    atomic.Int64 // on-disk cache hits
-	Computed  atomic.Int64 // results computed fresh
-	Rejected  atomic.Int64 // 429s from admission control
-	Errors    atomic.Int64 // 4xx/5xx responses other than 429
+	reg *obs.Registry
 
-	mu        sync.Mutex
-	latencies map[string]*Histogram
+	Requests  *obs.Counter // requests entering a /v1 handler
+	Coalesced *obs.Counter // requests served by joining an identical in-flight compute
+	L1Hits    *obs.Counter // in-memory LRU hits
+	L2Hits    *obs.Counter // on-disk cache hits
+	Computed  *obs.Counter // results computed fresh
+	Rejected  *obs.Counter // 429s from admission control
+	Errors    *obs.Counter // 4xx/5xx responses other than 429
+
+	// Solver telemetry, fed by the GK observer on /v1/throughput computes.
+	GKSolves     *obs.Counter // completed GK solves
+	GKPhases     *obs.Counter // total solver phases across solves
+	GKIterations *obs.Counter // total routing Dijkstras across solves
+	Traced       *obs.Counter // requests that asked for a ?trace=1 span dump
 }
 
-// NewMetrics returns an empty metrics set.
+// NewMetrics returns a metrics set over a fresh registry.
 func NewMetrics() *Metrics {
-	return &Metrics{latencies: map[string]*Histogram{}}
+	reg := obs.NewRegistry()
+	return &Metrics{
+		reg:          reg,
+		Requests:     reg.Counter("beyondftd_requests_total"),
+		Coalesced:    reg.Counter("beyondftd_coalesced_total"),
+		L1Hits:       reg.Counter(`beyondftd_cache_hits_total{tier="l1"}`),
+		L2Hits:       reg.Counter(`beyondftd_cache_hits_total{tier="l2"}`),
+		Computed:     reg.Counter("beyondftd_computed_total"),
+		Rejected:     reg.Counter("beyondftd_rejected_total"),
+		Errors:       reg.Counter("beyondftd_errors_total"),
+		GKSolves:     reg.Counter("beyondftd_gk_solves_total"),
+		GKPhases:     reg.Counter("beyondftd_gk_phases_total"),
+		GKIterations: reg.Counter("beyondftd_gk_iterations_total"),
+		Traced:       reg.Counter("beyondftd_traced_requests_total"),
+	}
 }
+
+// Registry exposes the backing registry for additional instruments.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // Latency returns (creating on first use) the histogram for an endpoint.
-func (m *Metrics) Latency(endpoint string) *Histogram {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.latencies[endpoint]
-	if !ok {
-		h = &Histogram{}
-		m.latencies[endpoint] = h
-	}
-	return h
+func (m *Metrics) Latency(endpoint string) *obs.Histogram {
+	return m.reg.Histogram(fmt.Sprintf("beyondftd_request_duration_ms{endpoint=%q}", endpoint), nil)
 }
 
-// WriteTo renders the metrics in the Prometheus text exposition format
-// (counters and cumulative histograms), endpoints in sorted order.
+// WriteTo renders every registered instrument in the Prometheus text
+// exposition format (series in sorted order; see obs.Registry.WriteTo).
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
-	var n int64
-	p := func(format string, args ...any) error {
-		c, err := fmt.Fprintf(w, format, args...)
-		n += int64(c)
-		return err
-	}
-	for _, c := range []struct {
-		name string
-		v    int64
-	}{
-		{"beyondftd_requests_total", m.Requests.Load()},
-		{"beyondftd_coalesced_total", m.Coalesced.Load()},
-		{`beyondftd_cache_hits_total{tier="l1"}`, m.L1Hits.Load()},
-		{`beyondftd_cache_hits_total{tier="l2"}`, m.L2Hits.Load()},
-		{"beyondftd_computed_total", m.Computed.Load()},
-		{"beyondftd_rejected_total", m.Rejected.Load()},
-		{"beyondftd_errors_total", m.Errors.Load()},
-	} {
-		if err := p("%s %d\n", c.name, c.v); err != nil {
-			return n, err
-		}
-	}
-
-	m.mu.Lock()
-	endpoints := make([]string, 0, len(m.latencies))
-	for ep := range m.latencies {
-		endpoints = append(endpoints, ep)
-	}
-	m.mu.Unlock()
-	sort.Strings(endpoints)
-	for _, ep := range endpoints {
-		h := m.Latency(ep)
-		cum := int64(0)
-		for i := range h.buckets {
-			cum += h.buckets[i].Load()
-			le := "+Inf"
-			if i < len(latencyBucketsMs) {
-				le = fmt.Sprintf("%g", latencyBucketsMs[i])
-			}
-			if err := p("beyondftd_request_duration_ms_bucket{endpoint=%q,le=%q} %d\n", ep, le, cum); err != nil {
-				return n, err
-			}
-		}
-		if err := p("beyondftd_request_duration_ms_count{endpoint=%q} %d\n", ep, h.count.Load()); err != nil {
-			return n, err
-		}
-		if err := p("beyondftd_request_duration_ms_sum{endpoint=%q} %.3f\n", ep,
-			float64(h.sumUs.Load())/1e3); err != nil {
-			return n, err
-		}
-	}
-	return n, nil
+	return m.reg.WriteTo(w)
 }

@@ -8,6 +8,7 @@ import (
 
 	"beyondft/internal/fluid"
 	"beyondft/internal/graph"
+	"beyondft/internal/obs"
 	"beyondft/internal/tm"
 	"beyondft/internal/topology"
 	"beyondft/internal/workload"
@@ -169,6 +170,10 @@ type ThroughputRequest struct {
 	// Seed drives workload randomness (active-rack choice, permutation
 	// pairing); independent of Topo.Seed. Default 1.
 	Seed int64 `json:"seed,omitempty"`
+
+	// metrics, when set by the handler, receives GK solver telemetry.
+	// Unexported, so it stays out of spec() and the cache key.
+	metrics *Metrics
 }
 
 func (r *ThroughputRequest) normalize() error {
@@ -227,9 +232,13 @@ type ThroughputResult struct {
 
 // run computes the query. ctx cancellation propagates into the GK solver
 // at phase granularity; a canceled run returns ctx.Err() rather than a
-// partial result.
+// partial result. A span in ctx (traced requests) gets build/solve children
+// with the solver's phase and iteration counts as attributes.
 func (r *ThroughputRequest) run(ctx context.Context) (json.RawMessage, error) {
+	sp := obs.SpanFromContext(ctx)
+	buildSp := sp.Child("build-topology")
 	t, err := r.Topo.build()
+	buildSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -252,11 +261,23 @@ func (r *ThroughputRequest) run(ctx context.Context) (json.RawMessage, error) {
 		return nil, fmt.Errorf("traffic matrix violates hose model: %w", err)
 	}
 	nw := fluid.NewNetwork(t.G, 1.0)
+	gkSp := sp.Child("gk-solve")
+	var tel fluid.GKTelemetry
 	res := fluid.MaxConcurrentFlow(nw, fluid.Commodities(m), fluid.GKOptions{
-		Epsilon: r.Epsilon,
-		Workers: graph.Parallelism(),
-		Ctx:     ctx,
+		Epsilon:  r.Epsilon,
+		Workers:  graph.Parallelism(),
+		Ctx:      ctx,
+		Observer: &tel,
 	})
+	gkSp.SetAttr("phases", float64(tel.Phases))
+	gkSp.SetAttr("iterations", float64(tel.Iterations))
+	gkSp.SetAttr("dual_bound", tel.Dual)
+	gkSp.End()
+	if r.metrics != nil {
+		r.metrics.GKSolves.Add(1)
+		r.metrics.GKPhases.Add(int64(tel.Phases))
+		r.metrics.GKIterations.Add(int64(tel.Iterations))
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -30,6 +30,7 @@ import (
 
 	"beyondft/internal/experiments"
 	"beyondft/internal/harness"
+	"beyondft/internal/obs"
 )
 
 // Config configures a Server.
@@ -294,15 +295,26 @@ type queryResponse struct {
 	Source     Source          `json:"source"`
 	DurationMs float64         `json:"duration_ms"`
 	Result     json.RawMessage `json:"result"`
+	// Trace is the per-request span tree, present only when the request
+	// asked for it with ?trace=1.
+	Trace *obs.Record `json:"trace,omitempty"`
 }
 
 // serveQuery runs the shared engine path for one request and writes the
 // response: metrics, deadline, engine.Do, manifest record, histogram.
+// ?trace=1 roots a span in the request context; the engine and the compute
+// hang stage spans off it and the finished tree rides back in the response.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint, name, spec, salt string,
 	compute func(context.Context) (json.RawMessage, error)) {
 	start := time.Now()
+	var root *obs.Span
+	if r.URL.Query().Get("trace") == "1" {
+		root = obs.StartSpan(endpoint)
+		s.metrics.Traced.Add(1)
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	ctx = obs.ContextWithSpan(ctx, root)
 	data, key, src, err := s.engine.Do(ctx, name, spec, salt, compute)
 	elapsed := time.Since(start)
 	s.metrics.Latency(endpoint).Observe(elapsed)
@@ -310,12 +322,14 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint, na
 		s.writeEngineError(w, err)
 		return
 	}
+	root.End()
 	s.record(name, key, src, elapsed)
 	writeJSON(w, http.StatusOK, queryResponse{
 		Key:        key,
 		Source:     src,
 		DurationMs: float64(elapsed) / float64(time.Millisecond),
 		Result:     data,
+		Trace:      root.Record(),
 	})
 }
 
@@ -401,6 +415,7 @@ func (s *Server) handleThroughput(w http.ResponseWriter, r *http.Request) {
 		s.writeBadRequest(w, err)
 		return
 	}
+	req.metrics = s.metrics
 	s.serveQuery(w, r, "/v1/throughput", "v1/throughput", req.spec(), CodeSalt, req.run)
 }
 

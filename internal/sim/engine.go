@@ -8,6 +8,8 @@
 // (see BenchmarkAblationClosureVsPacketEvents).
 package sim
 
+import "time"
+
 // Time is simulated time in nanoseconds.
 type Time int64
 
@@ -36,10 +38,44 @@ func (e *event) less(o *event) bool {
 
 // Engine runs events in (time, insertion) order.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events []event // 4-ary min-heap
-	count  uint64
+	now        Time
+	seq        uint64
+	events     []event // 4-ary min-heap
+	count      uint64
+	maxPending int           // deepest the heap ever got
+	wall       time.Duration // wall-clock time spent inside Run/RunAll
+}
+
+// LoopStats summarizes the event loop for observability: events executed,
+// the heap-depth high water, and the simulated-time/wall-time relation of
+// all Run/RunAll calls so far.
+type LoopStats struct {
+	Events        uint64        `json:"events"`
+	HeapHighWater int           `json:"heap_high_water"`
+	SimTime       Time          `json:"sim_time_ns"`
+	WallTime      time.Duration `json:"wall_time_ns"`
+}
+
+// SimPerWall reports how many simulated nanoseconds the engine covered per
+// wall-clock nanosecond spent in the run loop (higher is faster); 0 before
+// any Run call.
+func (s LoopStats) SimPerWall() float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return float64(s.SimTime) / float64(s.WallTime)
+}
+
+// Stats returns a snapshot of the engine's loop statistics. The high water
+// is tracked in push with a single integer compare, so the per-event cost
+// of keeping these numbers is negligible.
+func (e *Engine) Stats() LoopStats {
+	return LoopStats{
+		Events:        e.count,
+		HeapHighWater: e.maxPending,
+		SimTime:       e.now,
+		WallTime:      e.wall,
+	}
 }
 
 // NewEngine returns an engine at time 0.
@@ -57,6 +93,9 @@ func (e *Engine) Pending() int { return len(e.events) }
 // push inserts ev into the 4-ary heap.
 func (e *Engine) push(ev event) {
 	e.events = append(e.events, ev)
+	if len(e.events) > e.maxPending {
+		e.maxPending = len(e.events)
+	}
 	i := len(e.events) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -138,6 +177,8 @@ func (e *Engine) dispatch(ev *event) {
 // until; it returns the number of events executed. The clock always
 // advances to until.
 func (e *Engine) Run(until Time) uint64 {
+	wall := time.Now()
+	defer func() { e.wall += time.Since(wall) }()
 	start := e.count
 	for len(e.events) > 0 {
 		if e.events[0].at > until {
@@ -156,6 +197,8 @@ func (e *Engine) Run(until Time) uint64 {
 
 // RunAll executes events until the queue drains.
 func (e *Engine) RunAll() uint64 {
+	wall := time.Now()
+	defer func() { e.wall += time.Since(wall) }()
 	start := e.count
 	for len(e.events) > 0 {
 		ev := e.pop()

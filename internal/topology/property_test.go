@@ -1,0 +1,116 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSlimFlyProperties sweeps the MMS construction over the admissible q
+// grid and asserts the family's defining properties: 2q² switches, exact
+// (3q−1)/2-regularity, connectivity, and the claimed diameter of 2.
+func TestSlimFlyProperties(t *testing.T) {
+	for _, q := range []int{5, 13, 17} {
+		sf := NewSlimFly(q, 1)
+		if err := sf.Validate(); err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if got, want := sf.NumSwitches(), 2*q*q; got != want {
+			t.Errorf("q=%d: %d switches, want %d", q, got, want)
+		}
+		wantDeg := (3*q - 1) / 2
+		if deg, reg := sf.G.IsRegular(); !reg || deg != wantDeg {
+			t.Errorf("q=%d: regular=%v degree=%d, want regular degree %d", q, reg, deg, wantDeg)
+		}
+		ps := sf.G.PathStats()
+		if !ps.Connected {
+			t.Fatalf("q=%d: disconnected", q)
+		}
+		if ps.Diameter != 2 {
+			t.Errorf("q=%d: diameter %d, want the claimed 2", q, ps.Diameter)
+		}
+	}
+}
+
+// TestLonghopProperties sweeps (dim, degree) and asserts: 2^dim switches,
+// exact degree-regularity, connectivity, and the diameter bounds the
+// generator construction promises — dim for the plain hypercube
+// (degree == dim) and ⌈dim/2⌉ once the all-ones long hop is in the set
+// (degree > dim, the folded-hypercube bound; extra generators can only
+// shrink distances further).
+func TestLonghopProperties(t *testing.T) {
+	for _, dim := range []int{4, 5, 6, 8, 9} {
+		for _, degree := range []int{dim, dim + 1, dim + 3} {
+			lh := NewLonghop(dim, degree, 1)
+			if err := lh.Validate(); err != nil {
+				t.Fatalf("dim=%d degree=%d: %v", dim, degree, err)
+			}
+			if got, want := lh.NumSwitches(), 1<<dim; got != want {
+				t.Errorf("dim=%d degree=%d: %d switches, want %d", dim, degree, got, want)
+			}
+			if deg, reg := lh.G.IsRegular(); !reg || deg != degree {
+				t.Errorf("dim=%d degree=%d: regular=%v got degree %d", dim, degree, reg, deg)
+			}
+			ps := lh.G.PathStats()
+			if !ps.Connected {
+				t.Fatalf("dim=%d degree=%d: disconnected", dim, degree)
+			}
+			bound := dim
+			if degree > dim {
+				bound = (dim + 1) / 2
+			}
+			if ps.Diameter > bound {
+				t.Errorf("dim=%d degree=%d: diameter %d exceeds claimed bound %d",
+					dim, degree, ps.Diameter, bound)
+			}
+		}
+	}
+}
+
+// TestLPSProperties sweeps the Ramanujan family over a (p, q) grid and
+// asserts the construction's guarantees: (p+1)-regularity, the PSL/PGL
+// group order (q(q²−1)/2 or q(q²−1)) matching the quadratic character of p
+// mod q, connectivity, and the Ramanujan diameter bound
+// 2·log_p(n) + 2·log_p(2) + 1 (Lubotzky–Phillips–Sarnak, Prop. 3.3).
+func TestLPSProperties(t *testing.T) {
+	cases := []struct {
+		p, q    int
+		wantPGL bool // p a quadratic non-residue mod q
+	}{
+		{p: 5, q: 13, wantPGL: true},   // 5 is a non-residue mod 13
+		{p: 5, q: 17, wantPGL: true},   // 5 is a non-residue mod 17
+		{p: 13, q: 17, wantPGL: false}, // 13 ≡ 8² (mod 17)
+	}
+	for _, tc := range cases {
+		l := NewLPS(tc.p, tc.q, 1)
+		if err := l.Validate(); err != nil {
+			t.Fatalf("p=%d q=%d: %v", tc.p, tc.q, err)
+		}
+		pslOrder := tc.q * (tc.q*tc.q - 1) / 2
+		wantN := pslOrder
+		if tc.wantPGL {
+			wantN = 2 * pslOrder
+		}
+		if l.NumSwitches() != wantN {
+			t.Errorf("p=%d q=%d: %d switches, want %d (PGL=%v)",
+				tc.p, tc.q, l.NumSwitches(), wantN, tc.wantPGL)
+		}
+		if l.OverPGL != tc.wantPGL {
+			t.Errorf("p=%d q=%d: OverPGL=%v, want %v", tc.p, tc.q, l.OverPGL, tc.wantPGL)
+		}
+		if deg, reg := l.G.IsRegular(); !reg || deg != tc.p+1 {
+			t.Errorf("p=%d q=%d: regular=%v degree=%d, want regular degree %d",
+				tc.p, tc.q, reg, deg, tc.p+1)
+		}
+		ps := l.G.PathStats()
+		if !ps.Connected {
+			t.Fatalf("p=%d q=%d: disconnected", tc.p, tc.q)
+		}
+		n := float64(l.NumSwitches())
+		bound := int(math.Ceil(2*math.Log(n)/math.Log(float64(tc.p)) +
+			2*math.Log(2)/math.Log(float64(tc.p)) + 1))
+		if ps.Diameter > bound {
+			t.Errorf("p=%d q=%d: diameter %d exceeds Ramanujan bound %d",
+				tc.p, tc.q, ps.Diameter, bound)
+		}
+	}
+}

@@ -81,10 +81,22 @@ func checkFluidScenario(sc fluidScenario) []Check {
 		return []Check{{Name: name, Err: fmt.Sprintf("exact LP failed: %v", err)}}
 	}
 	gk := fluid.MaxConcurrentFlow(nw, comms, fluid.GKOptions{Epsilon: GKEpsilon, Workers: 4})
+	out := []Check{CompareFluid(name, len(comms), exact, gk)}
+
+	gk1 := fluid.MaxConcurrentFlow(nw, comms, fluid.GKOptions{Epsilon: GKEpsilon, Workers: 1})
+	out = append(out, compareWorkerDet(name, gk1, gk))
+	return out
+}
+
+// CompareFluid is the LP-vs-GK tolerance comparator: it judges one solved
+// instance against the declared contracts (primal ≤ dual, primal bracketed
+// by the exact optimum, dual a valid upper bound, FPTAS lower fraction).
+// Exported so tests can feed it perturbed results and prove it rejects them.
+func CompareFluid(name string, nComms int, exact float64, gk fluid.GKResult) Check {
 	c := Check{
 		Name: name,
 		Detail: fmt.Sprintf("%d comms: exact=%.6f gk=[%.6f, %.6f] ratio=%.4f",
-			len(comms), exact, gk.Throughput, gk.UpperBound, gk.Throughput/exact),
+			nComms, exact, gk.Throughput, gk.UpperBound, gk.Throughput/exact),
 	}
 	switch {
 	case !(exact > 0) || math.IsNaN(exact):
@@ -99,14 +111,16 @@ func checkFluidScenario(sc fluidScenario) []Check {
 		c.Err = fmt.Sprintf("GK primal %.9f under %.2f×exact=%.9f: FPTAS guarantee broken at ε=%.2f",
 			gk.Throughput, GKLowerFrac, GKLowerFrac*exact, GKEpsilon)
 	}
-	out := []Check{c}
+	return c
+}
 
-	gk1 := fluid.MaxConcurrentFlow(nw, comms, fluid.GKOptions{Epsilon: GKEpsilon, Workers: 1})
+// compareWorkerDet judges GK's worker-count invariance contract.
+func compareWorkerDet(name string, gk1, gk fluid.GKResult) Check {
 	det := Check{Name: name + "/workers-det",
 		Detail: fmt.Sprintf("throughput=%.9f at 1 and 4 workers", gk1.Throughput)}
 	if gk1.Throughput != gk.Throughput || gk1.UpperBound != gk.UpperBound || gk1.Phases != gk.Phases {
 		det.Err = fmt.Sprintf("GK result depends on worker count: w1=(%.12g,%.12g,%d) w4=(%.12g,%.12g,%d)",
 			gk1.Throughput, gk1.UpperBound, gk1.Phases, gk.Throughput, gk.UpperBound, gk.Phases)
 	}
-	return append(out, det)
+	return det
 }

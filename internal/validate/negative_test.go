@@ -1,0 +1,131 @@
+package validate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"beyondft/internal/fluid"
+)
+
+// TestCompareFluidRejectsPerturbations is the negative-path sweep: take a
+// consistent (exact, GK) pair and perturb one number at a time past each
+// declared tolerance. Every perturbation must fail the comparator, with the
+// failure message naming the violated contract — a comparator that accepts
+// a wrong solver result validates nothing.
+func TestCompareFluidRejectsPerturbations(t *testing.T) {
+	const exact = 0.5
+	good := fluid.GKResult{Throughput: 0.48, UpperBound: 0.52, Phases: 100}
+	if c := CompareFluid("base", 4, exact, good); !c.OK() {
+		t.Fatalf("baseline must pass, got %q", c.Err)
+	}
+
+	cases := []struct {
+		name    string
+		exact   float64
+		gk      fluid.GKResult
+		wantErr string
+	}{
+		{
+			name:    "primal-above-dual",
+			exact:   exact,
+			gk:      fluid.GKResult{Throughput: 0.53, UpperBound: 0.52},
+			wantErr: "exceeds its own dual bound",
+		},
+		{
+			name:    "primal-above-exact",
+			exact:   exact,
+			gk:      fluid.GKResult{Throughput: 0.50001, UpperBound: 0.52},
+			wantErr: "exceeds exact optimum",
+		},
+		{
+			name:    "dual-below-exact",
+			exact:   exact,
+			gk:      fluid.GKResult{Throughput: 0.48, UpperBound: 0.499},
+			wantErr: "invalid bound",
+		},
+		{
+			name:    "primal-below-fptas-floor",
+			exact:   exact,
+			gk:      fluid.GKResult{Throughput: GKLowerFrac*exact - 1e-6, UpperBound: 0.52},
+			wantErr: "FPTAS guarantee broken",
+		},
+		{
+			name:    "exact-not-positive",
+			exact:   0,
+			gk:      good,
+			wantErr: "not positive",
+		},
+		{
+			name:    "exact-nan",
+			exact:   math.NaN(),
+			gk:      good,
+			wantErr: "not positive",
+		},
+	}
+	for _, tc := range cases {
+		c := CompareFluid(tc.name, 4, tc.exact, tc.gk)
+		if c.OK() {
+			t.Errorf("%s: perturbed result passed the comparator (detail: %s)", tc.name, c.Detail)
+			continue
+		}
+		if !strings.Contains(c.Err, tc.wantErr) {
+			t.Errorf("%s: err %q does not name the violated contract (%q)", tc.name, c.Err, tc.wantErr)
+		}
+	}
+
+	// A hair inside each tolerance must still pass: the comparator enforces
+	// the declared slack, not exact equality.
+	nearMiss := []fluid.GKResult{
+		{Throughput: exact + LPSlack/2, UpperBound: 0.52},
+		{Throughput: 0.48, UpperBound: exact - LPSlack/2},
+		{Throughput: GKLowerFrac * exact, UpperBound: 0.52},
+	}
+	for i, gk := range nearMiss {
+		if c := CompareFluid("near-miss", 4, exact, gk); !c.OK() {
+			t.Errorf("near-miss %d inside tolerance rejected: %q", i, c.Err)
+		}
+	}
+}
+
+// TestCompareFCTRejectsPerturbations drives the cross-simulator ratio
+// comparator outside its declared band from both sides.
+func TestCompareFCTRejectsPerturbations(t *testing.T) {
+	const fsMean = 1e6 // 1 ms flow-level mean FCT
+	if c := CompareFCT("base", fsMean, 1.4*fsMean, false); !c.OK() {
+		t.Fatalf("in-band ratio must pass, got %q", c.Err)
+	}
+	cases := []struct {
+		name    string
+		nsMean  float64
+		skipped bool
+		wantErr string
+	}{
+		{name: "too-fast", nsMean: (FCTRatioLo - 0.01) * fsMean, wantErr: "outside declared tolerance"},
+		{name: "too-slow", nsMean: (FCTRatioHi + 0.01) * fsMean, wantErr: "outside declared tolerance"},
+		{name: "sim-failed", nsMean: 1.4 * fsMean, skipped: true, wantErr: "skipped"},
+	}
+	for _, tc := range cases {
+		c := CompareFCT(tc.name, fsMean, tc.nsMean, tc.skipped)
+		if c.OK() {
+			t.Errorf("%s: perturbed ratio passed", tc.name)
+		} else if !strings.Contains(c.Err, tc.wantErr) {
+			t.Errorf("%s: err %q, want mention of %q", tc.name, c.Err, tc.wantErr)
+		}
+	}
+	// Band edges are inclusive.
+	for _, edge := range []float64{FCTRatioLo, FCTRatioHi} {
+		if c := CompareFCT("edge", fsMean, edge*fsMean, false); !c.OK() {
+			t.Errorf("ratio exactly %.2f rejected: %q", edge, c.Err)
+		}
+	}
+	// Failed() must surface exactly the violations.
+	checks := []Check{
+		CompareFluid("ok", 1, 0.5, fluid.GKResult{Throughput: 0.48, UpperBound: 0.52}),
+		CompareFCT("bad", fsMean, 10*fsMean, false),
+	}
+	bad := Failed(checks)
+	if len(bad) != 1 || !strings.Contains(bad[0].Name, "bad") {
+		t.Errorf("Failed() = %+v, want exactly the fct-ratio violation", bad)
+	}
+}

@@ -114,17 +114,7 @@ func checkSimScenario(sc simScenario, seed int64) []Check {
 	}
 	out := []Check{fsCheck, nsCheck}
 
-	ratio := nsMean / fsMean
-	agree := Check{Name: name + "/fct-ratio",
-		Detail: fmt.Sprintf("netsim/flowsim mean FCT = %.0f/%.0f = %.3f (declared [%.2f, %.2f])",
-			nsMean, fsMean, ratio, FCTRatioLo, FCTRatioHi)}
-	if fsErr != nil || nsErr != nil {
-		agree.Err = "skipped: a simulator run failed"
-	} else if ratio < FCTRatioLo || ratio > FCTRatioHi {
-		agree.Err = fmt.Sprintf("FCT ratio %.3f outside declared tolerance [%.2f, %.2f]",
-			ratio, FCTRatioLo, FCTRatioHi)
-	}
-	out = append(out, agree)
+	out = append(out, CompareFCT(name, fsMean, nsMean, fsErr != nil || nsErr != nil))
 
 	// Same-seed replay: both simulators are contracted to be bit-identical
 	// across repeated runs of the same scenario.
@@ -137,6 +127,25 @@ func checkSimScenario(sc simScenario, seed int64) []Check {
 		det.Err = "netsim replay diverged under the same seed"
 	}
 	return append(out, det)
+}
+
+// CompareFCT is the cross-simulator tolerance comparator: the ratio of the
+// packet-level mean FCT to the flow-level mean FCT must land inside the
+// declared [FCTRatioLo, FCTRatioHi] band. skipped marks a scenario where a
+// simulator run itself failed (the ratio is then meaningless). Exported so
+// tests can feed it perturbed means and prove it rejects them.
+func CompareFCT(name string, fsMean, nsMean float64, skipped bool) Check {
+	ratio := nsMean / fsMean
+	agree := Check{Name: name + "/fct-ratio",
+		Detail: fmt.Sprintf("netsim/flowsim mean FCT = %.0f/%.0f = %.3f (declared [%.2f, %.2f])",
+			nsMean, fsMean, ratio, FCTRatioLo, FCTRatioHi)}
+	if skipped {
+		agree.Err = "skipped: a simulator run failed"
+	} else if ratio < FCTRatioLo || ratio > FCTRatioHi {
+		agree.Err = fmt.Sprintf("FCT ratio %.3f outside declared tolerance [%.2f, %.2f]",
+			ratio, FCTRatioLo, FCTRatioHi)
+	}
+	return agree
 }
 
 // runFlowsim drives the scenario through the flow-level simulator, auditing

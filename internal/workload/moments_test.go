@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"beyondft/internal/graph"
+	"beyondft/internal/netsim"
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+)
+
+// TestFlowSizeMoments is the table-driven moment sweep over every flow-size
+// distribution: the sample mean must converge to the analytic Mean(), and
+// for the discrete CDFs the sample second moment must converge to the exact
+// second moment computed from the point masses. Pareto-HULL's second moment
+// is dominated by the 1 GB truncation tail (shape 1.05 < 2 means infinite
+// variance untruncated), so for it we instead pin tail mass quantiles.
+func TestFlowSizeMoments(t *testing.T) {
+	const samples = 400_000
+	dists := []FlowSizeDist{PFabricWebSearch(), NewParetoHULL(),
+		NewDiscreteCDF("tri", []int64{100, 10_000, 1_000_000}, []float64{0.5, 0.9, 1.0})}
+	for _, d := range dists {
+		rng := rand.New(rand.NewSource(11))
+		var sum, sumSq float64
+		for i := 0; i < samples; i++ {
+			x := float64(d.Sample(rng))
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / samples
+		if relErr := math.Abs(mean-d.Mean()) / d.Mean(); relErr > 0.15 {
+			t.Errorf("%s: sample mean %.0f vs analytic %.0f (rel err %.3f)",
+				d.Name(), mean, d.Mean(), relErr)
+		}
+		if dc, ok := d.(*DiscreteCDF); ok {
+			// Exact moments from the point masses.
+			var m2 float64
+			prev := 0.0
+			sizes, cdf := dc.CDFPoints()
+			for i := range sizes {
+				p := cdf[i] - prev
+				m2 += float64(sizes[i]) * float64(sizes[i]) * p
+				prev = cdf[i]
+			}
+			if relErr := math.Abs(sumSq/samples-m2) / m2; relErr > 0.1 {
+				t.Errorf("%s: sample 2nd moment %.3e vs exact %.3e (rel err %.3f)",
+					d.Name(), sumSq/samples, m2, relErr)
+			}
+		}
+	}
+}
+
+// TestDiscreteCDFExactMoments checks NewDiscreteCDF's mean arithmetic on a
+// hand-computable table (no sampling involved).
+func TestDiscreteCDFExactMoments(t *testing.T) {
+	cases := []struct {
+		sizes []int64
+		cdf   []float64
+		mean  float64
+	}{
+		{[]int64{100}, []float64{1}, 100},
+		{[]int64{100, 300}, []float64{0.5, 1}, 200},
+		{[]int64{10, 100, 1000}, []float64{0.25, 0.75, 1}, 302.5},
+	}
+	for _, tc := range cases {
+		d := NewDiscreteCDF("t", tc.sizes, tc.cdf)
+		if math.Abs(d.Mean()-tc.mean) > 1e-9 {
+			t.Errorf("sizes=%v cdf=%v: mean %v, want %v", tc.sizes, tc.cdf, d.Mean(), tc.mean)
+		}
+	}
+}
+
+// TestParetoHULLTailQuantiles pins the bounded Pareto's shape via its CDF:
+// most flows are short (90th percentile under the 100 KB mean) while the
+// heavy tail still reaches orders of magnitude above it.
+func TestParetoHULLTailQuantiles(t *testing.T) {
+	p := NewParetoHULL()
+	if q90 := quantile(p, 0.90); q90 > 100e3 {
+		t.Errorf("90th percentile %.0f above the 100KB mean", q90)
+	}
+	if q999 := quantile(p, 0.999); q999 < 1e6 {
+		t.Errorf("99.9th percentile %.0f: tail too light for shape 1.05", q999)
+	}
+	// CDFValue must be a valid CDF: monotone, 0 at lo, 1 at hi.
+	prev := -1.0
+	for x := 100.0; x <= 1e9; x *= 10 {
+		v := p.CDFValue(x)
+		if v < prev || v < 0 || v > 1 {
+			t.Fatalf("CDFValue(%g)=%g not monotone in [0,1]", x, v)
+		}
+		prev = v
+	}
+}
+
+// quantile inverts CDFValue by bisection.
+func quantile(p *ParetoHULL, u float64) float64 {
+	lo, hi := 1.0, 1e9
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if p.CDFValue(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TestArrivalProcessDeterminism pins the arrival process itself, not just
+// aggregate results: the same seed must produce the identical flow sequence
+// (start time, endpoints, size — compared as a fingerprint), and a different
+// seed must not.
+func TestArrivalProcessDeterminism(t *testing.T) {
+	fingerprint := func(seed int64) string {
+		g := graph.New(2)
+		g.AddEdge(0, 1)
+		topo := &topology.Topology{Name: "pair", G: g, Servers: []int{3, 3}, SwitchPorts: 4}
+		pairs := NewA2A(topo, []int{0, 1})
+		exp := DefaultExperiment(pairs, PFabricWebSearch(), 1500,
+			2*sim.Millisecond, 12*sim.Millisecond, 60*sim.Millisecond, seed)
+		net := netsim.NewNetwork(topo, netsim.DefaultConfig())
+		exp.Run(net)
+		var fp string
+		for _, f := range net.Flows() {
+			if f.Hidden {
+				continue
+			}
+			fp += fmt.Sprintf("%d:%d>%d#%d;", f.StartNs, f.SrcServer, f.DstServer, f.SizeBytes)
+		}
+		return fp
+	}
+	a, b := fingerprint(7), fingerprint(7)
+	if a != b {
+		t.Fatal("same seed produced different arrival sequences")
+	}
+	if a == fingerprint(8) {
+		t.Fatal("different seeds produced identical arrival sequences")
+	}
+	if len(a) == 0 {
+		t.Fatal("no flows arrived")
+	}
+}
+
+// TestPoissonInterArrivalMean checks the arrival process against its rate
+// parameter: at Lambda flows/s the mean inter-arrival gap over the run must
+// come out near 1/Lambda.
+func TestPoissonInterArrivalMean(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	topo := &topology.Topology{Name: "pair", G: g, Servers: []int{3, 3}, SwitchPorts: 4}
+	pairs := NewA2A(topo, []int{0, 1})
+	sizes := NewDiscreteCDF("tiny", []int64{2000}, []float64{1})
+	const lambda = 20_000.0
+	exp := DefaultExperiment(pairs, sizes, lambda,
+		0, 200*sim.Millisecond, 250*sim.Millisecond, 3)
+	net := netsim.NewNetwork(topo, netsim.DefaultConfig())
+	exp.Run(net)
+	var starts []sim.Time
+	for _, f := range net.Flows() {
+		if !f.Hidden {
+			starts = append(starts, f.StartNs)
+		}
+	}
+	if len(starts) < 1000 {
+		t.Fatalf("only %d arrivals", len(starts))
+	}
+	meanGapNs := float64(starts[len(starts)-1]-starts[0]) / float64(len(starts)-1)
+	wantNs := float64(sim.Second) / lambda
+	if math.Abs(meanGapNs-wantNs)/wantNs > 0.1 {
+		t.Errorf("mean inter-arrival %.0f ns, want %.0f ±10%%", meanGapNs, wantNs)
+	}
+}
