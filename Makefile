@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race vet bench bench-all bench-smoke serve-smoke validate-smoke fuzz-smoke fuzz cover figures figures-full run examples clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke serve-smoke validate-smoke whatif-smoke fuzz-smoke fuzz cover figures figures-full run examples clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: vet bench-smoke serve-smoke validate-smoke fuzz-smoke cover
+test: vet bench-smoke serve-smoke validate-smoke whatif-smoke fuzz-smoke cover
 
 # Full test suite with the per-package coverage gate (see README "Coverage
 # gate"): every internal/ package must hold >= 60% statement coverage.
@@ -24,7 +24,7 @@ test-race:
 		./internal/graph/... ./internal/fluid/... ./internal/tm/... \
 		./internal/serve/... ./internal/flowsim/... ./internal/netsim/... \
 		./internal/sim/... ./internal/minheap/... ./internal/topology/... \
-		./internal/validate/...
+		./internal/validate/... ./internal/whatif/...
 
 # Cross-model validation (DESIGN.md §10): exact LP vs Garg–Könemann vs
 # flowsim vs netsim on shared scenarios, plus conservation and replay
@@ -32,6 +32,24 @@ test-race:
 # through the harness: `go run ./cmd/runner run -only 'validate-*' -full`.
 validate-smoke:
 	go run ./cmd/validate -smoke
+
+# What-if sweep smoke (DESIGN.md §12): a full single-link sweep of a tiny
+# fabric via cmd/whatif, run at 1 and 8 workers and then resumed from the
+# scenario cache — stdout (histogram + worst-k frontier) must be
+# byte-identical every time. Wired into `make test`.
+WHATIF_DIR := .whatif-smoke
+WHATIF_ARGS := -topo jellyfish -n 16 -degree 4 -servers 2 -family single-link
+whatif-smoke:
+	@rm -rf $(WHATIF_DIR) && mkdir -p $(WHATIF_DIR)
+	@go build -o $(WHATIF_DIR)/whatif ./cmd/whatif
+	@$(WHATIF_DIR)/whatif $(WHATIF_ARGS) -workers 1 > $(WHATIF_DIR)/w1.out 2>/dev/null
+	@$(WHATIF_DIR)/whatif $(WHATIF_ARGS) -workers 8 -cache $(WHATIF_DIR)/cache > $(WHATIF_DIR)/w8.out 2>/dev/null
+	@$(WHATIF_DIR)/whatif $(WHATIF_ARGS) -workers 4 -cache $(WHATIF_DIR)/cache > $(WHATIF_DIR)/resumed.out 2>/dev/null
+	@cmp $(WHATIF_DIR)/w1.out $(WHATIF_DIR)/w8.out || { echo "whatif-smoke: worker count changed the sweep"; exit 1; }
+	@cmp $(WHATIF_DIR)/w1.out $(WHATIF_DIR)/resumed.out || { echo "whatif-smoke: cache resume changed the sweep"; exit 1; }
+	@grep -q '^worst' $(WHATIF_DIR)/w1.out || { echo "whatif-smoke: no frontier in output"; cat $(WHATIF_DIR)/w1.out; exit 1; }
+	@echo "whatif-smoke: ok (single-link sweep deterministic across workers and cache resume)"
+	@rm -rf $(WHATIF_DIR)
 
 # The native fuzz targets' seed corpora, run as plain tests so `make test`
 # catches postcondition regressions without fuzzing time.
@@ -44,6 +62,7 @@ fuzz-smoke:
 FUZZTIME := 30s
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzKShortestPaths$$' -fuzztime $(FUZZTIME) ./internal/graph
+	go test -run '^$$' -fuzz '^FuzzDeltaOverlay$$' -fuzztime $(FUZZTIME) ./internal/graph
 	go test -run '^$$' -fuzz '^FuzzHeapVsSortOracle$$' -fuzztime $(FUZZTIME) ./internal/minheap
 	go test -run '^$$' -fuzz '^FuzzEngineEventOrder$$' -fuzztime $(FUZZTIME) ./internal/sim
 	go test -run '^$$' -fuzz '^FuzzTopologyGenerators$$' -fuzztime $(FUZZTIME) ./internal/topology
@@ -54,18 +73,18 @@ vet:
 # Tracked perf-trajectory benchmarks (see README "Benchmark trajectory"):
 # fixed -benchtime/-count so BENCH_pr<N>.json files are comparable across
 # PRs. Append new kernels to BENCH_PATTERN as they land.
-BENCH_PATTERN := BenchmarkAPSP|BenchmarkPathStats|BenchmarkBFS|BenchmarkDijkstra|BenchmarkLongestMatching|BenchmarkMaxConcurrentFlow|BenchmarkGKMaxConcurrentFlow|BenchmarkServeThroughputCached|BenchmarkGKObserverDisabled
-BENCH_OUT := BENCH_pr5.json
+BENCH_PATTERN := BenchmarkAPSP|BenchmarkPathStats|BenchmarkBFS|BenchmarkDijkstra|BenchmarkLongestMatching|BenchmarkMaxConcurrentFlow|BenchmarkGKMaxConcurrentFlow|BenchmarkServeThroughputCached|BenchmarkGKObserverDisabled|BenchmarkWhatifSingleLinkSweep
+BENCH_OUT := BENCH_pr6.json
 bench:
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -count 3 -benchmem -timeout 0 \
-		./internal/graph ./internal/fluid ./internal/tm ./internal/serve . \
+		./internal/graph ./internal/fluid ./internal/tm ./internal/serve ./internal/whatif . \
 		| go run ./cmd/benchjson -o $(BENCH_OUT)
 
 # One iteration of the tracked benchmarks, wired into `make test` so they
 # cannot bit-rot between perf PRs.
 bench-smoke:
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x \
-		./internal/graph ./internal/fluid ./internal/tm ./internal/serve .
+		./internal/graph ./internal/fluid ./internal/tm ./internal/serve ./internal/whatif .
 
 # End-to-end smoke of the query daemon (see DESIGN.md §8): boot it on a
 # free port, probe it exactly like a client would (curl /healthz and one

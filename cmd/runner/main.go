@@ -66,9 +66,12 @@ func usage() {
 
 commands:
   list     list the registered experiment jobs
+           -filter GLOB list only jobs matching the glob
   run      execute jobs through the parallel harness
            -j N         worker pool size (default GOMAXPROCS)
            -only GLOB   run only jobs matching the glob (e.g. 'fig5*')
+           -filter GLOB additional glob jobs must also match (intersects
+                        with -only; e.g. -only 'whatif-*' -filter '*-link')
            -cache DIR   content-addressed result cache (default %s)
            -no-cache    disable the cache (always recompute)
            -out DIR     artifacts + manifest.json (default %s)
@@ -98,10 +101,15 @@ func config(full bool, seed int64) experiments.Config {
 }
 
 // registry is the figure/table registry plus the cross-model validation
-// sweep, so `runner run` executes and caches both through the same pool.
-func registry(cfg experiments.Config, full bool) *harness.Registry {
+// sweep and the what-if scenario sweeps, so `runner run` executes and
+// caches all of them through the same pool. cache (may be nil) feeds the
+// what-if jobs' per-scenario entries, making interrupted sweeps resumable.
+func registry(cfg experiments.Config, full bool, cache *harness.Cache) *harness.Registry {
 	reg := cfg.Registry()
 	for _, j := range validate.Jobs(cfg.Seed, full) {
+		reg.MustRegister(j)
+	}
+	for _, j := range cfg.WhatifJobs(cache) {
 		reg.MustRegister(j)
 	}
 	return reg
@@ -111,11 +119,16 @@ func cmdList(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	full := fs.Bool("full", false, "paper-scale configuration")
 	seed := fs.Int64("seed", 1, "base random seed")
+	filter := fs.String("filter", "", "glob of job names to list (e.g. 'whatif-*')")
 	fs.Parse(args)
 
-	reg := registry(config(*full, *seed), *full)
-	fmt.Printf("%d registered jobs (spec: %s)\n", reg.Len(), config(*full, *seed).Spec())
-	for _, j := range reg.Jobs() {
+	reg := registry(config(*full, *seed), *full, nil)
+	jobs, err := reg.Match(*filter)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d/%d registered jobs (spec: %s)\n", len(jobs), reg.Len(), config(*full, *seed).Spec())
+	for _, j := range jobs {
 		fmt.Printf("  %-14s key=%.12s…\n", j.Name, harness.Key(j.Name, j.Spec, experiments.CodeSalt))
 	}
 	return nil
@@ -125,6 +138,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	workers := fs.Int("j", runtime.GOMAXPROCS(0), "worker pool size")
 	only := fs.String("only", "", "glob of job names to run")
+	filter := fs.String("filter", "", "additional glob jobs must also match (intersects with -only)")
 	cacheDir := fs.String("cache", defaultCacheDir, "result cache directory")
 	noCache := fs.Bool("no-cache", false, "disable the result cache")
 	outDir := fs.String("out", defaultOutDir, "output directory for artifacts and manifest")
@@ -135,12 +149,37 @@ func cmdRun(args []string) error {
 	fs.Parse(args)
 
 	cfg := config(*full, *seed)
-	jobs, err := registry(cfg, *full).Match(*only)
+	var cache *harness.Cache
+	if !*noCache {
+		var err error
+		if cache, err = harness.OpenCache(*cacheDir); err != nil {
+			return err
+		}
+	}
+	reg := registry(cfg, *full, cache)
+	jobs, err := reg.Match(*only)
 	if err != nil {
 		return err
 	}
+	if *filter != "" {
+		keep, err := reg.Match(*filter)
+		if err != nil {
+			return err
+		}
+		names := make(map[string]bool, len(keep))
+		for _, j := range keep {
+			names[j.Name] = true
+		}
+		kept := jobs[:0]
+		for _, j := range jobs {
+			if names[j.Name] {
+				kept = append(kept, j)
+			}
+		}
+		jobs = kept
+	}
 	if len(jobs) == 0 {
-		return fmt.Errorf("no jobs match -only=%q", *only)
+		return fmt.Errorf("no jobs match -only=%q -filter=%q", *only, *filter)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -157,11 +196,7 @@ func cmdRun(args []string) error {
 		OutDir:   *outDir,
 		Progress: os.Stderr,
 		Trace:    *trace,
-	}
-	if !*noCache {
-		if opt.Cache, err = harness.OpenCache(*cacheDir); err != nil {
-			return err
-		}
+		Cache:    cache,
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err

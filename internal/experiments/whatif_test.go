@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"beyondft/internal/harness"
+)
+
+// lookupWhatifJob builds the family jobs and returns one by name.
+func lookupWhatifJob(t *testing.T, c Config, cache *harness.Cache, name string) harness.Job {
+	t.Helper()
+	for _, j := range c.WhatifJobs(cache) {
+		if j.Name == name {
+			return j
+		}
+	}
+	t.Fatalf("job %s not in WhatifJobs", name)
+	return harness.Job{}
+}
+
+// TestWhatifJobsShape pins the family grid: one job per scenario family,
+// each with a spec that captures both the configuration and the family, so
+// cache keys distinguish every (Config, family) pair.
+func TestWhatifJobsShape(t *testing.T) {
+	c := DefaultConfig()
+	jobs := c.WhatifJobs(nil)
+	if len(jobs) != len(whatifFamilies) {
+		t.Fatalf("WhatifJobs returned %d jobs, want %d", len(jobs), len(whatifFamilies))
+	}
+	specs := map[string]bool{}
+	for _, j := range jobs {
+		if specs[j.Spec] {
+			t.Fatalf("duplicate spec %q", j.Spec)
+		}
+		specs[j.Spec] = true
+	}
+	c2 := c
+	c2.Seed = 99
+	if c.WhatifJobs(nil)[0].Spec == c2.WhatifJobs(nil)[0].Spec {
+		t.Fatal("whatif job spec does not capture the seed")
+	}
+}
+
+// TestWhatifJobDeterministicAcrossCacheStates is the invariant the two-tier
+// caching rests on: a sweep's JobResult is byte-identical whether it runs
+// cold, against an empty scenario cache, or fully resumed from a populated
+// one — the run-specific counters never leak into the figures.
+func TestWhatifJobDeterministicAcrossCacheStates(t *testing.T) {
+	c := DefaultConfig()
+	ctx := context.Background()
+	cache, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	enc := func(v any) string {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	cold, err := lookupWhatifJob(t, c, nil, "whatif-single-link").Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := lookupWhatifJob(t, c, cache, "whatif-single-link").Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := lookupWhatifJob(t, c, cache, "whatif-single-link").Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc(cold) != enc(seeded) {
+		t.Fatal("sweep with scenario cache differs from cacheless sweep")
+	}
+	if enc(cold) != enc(resumed) {
+		t.Fatal("resumed sweep differs from cold sweep")
+	}
+
+	jr := cold.(*JobResult)
+	if len(jr.Figures) != 2 {
+		t.Fatalf("want histogram + worst figures, got %d", len(jr.Figures))
+	}
+	hist, worst := jr.Figures[0], jr.Figures[1]
+	var total float64
+	for _, y := range hist.Series[0].Y {
+		total += y
+	}
+	if total == 0 {
+		t.Fatalf("histogram empty: %+v", hist)
+	}
+	if len(worst.Series) != 2 || len(worst.Series[0].Y) == 0 {
+		t.Fatalf("worst-k figure malformed: %+v", worst)
+	}
+	for i := 1; i < len(worst.Series[0].Y); i++ {
+		if worst.Series[0].X[i] != float64(i+1) {
+			t.Fatalf("worst-k ranks not 1..k: %v", worst.Series[0].X)
+		}
+	}
+}

@@ -41,7 +41,15 @@ type Network struct {
 // each distinct undirected edge of multiplicity μ becomes two arcs of
 // capacity μ·linkCap, emitted in CSR order off the graph's frozen view.
 func NewNetwork(g *graph.Graph, linkCap float64) *Network {
-	c := g.Frozen()
+	return NewNetworkFromView(g.Frozen(), linkCap)
+}
+
+// NewNetworkFromView builds the arc network off any CSR-shaped view — a
+// frozen base graph or a delta overlay (graph.Overlay) — so what-if
+// scenarios get a patched arc layout without rebuilding the base graph.
+// Arc order is the view's row order, which is what makes base→scenario arc
+// mapping (ArcIndex) well-defined for warm starts.
+func NewNetworkFromView(c graph.View, linkCap float64) *Network {
 	n := c.N()
 	nw := &Network{
 		N:        n,
@@ -58,6 +66,28 @@ func NewNetwork(g *graph.Graph, linkCap float64) *Network {
 		nw.arcStart[u+1] = int32(len(nw.Arcs))
 	}
 	return nw
+}
+
+// ArcIndex returns the index of the directed arc u→v, or -1 if no such arc
+// exists (or u is out of range). Arcs within a row are ascending by To (CSR
+// order), so the lookup is a binary search over the row.
+func (nw *Network) ArcIndex(u, v int) int {
+	if u < 0 || u >= nw.N {
+		return -1
+	}
+	lo, hi := int(nw.arcStart[u]), int(nw.arcStart[u+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(nw.arcTo[mid]) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(nw.arcStart[u+1]) && int(nw.arcTo[lo]) == v {
+		return lo
+	}
+	return -1
 }
 
 // Commodity is a demand routed by the solvers.

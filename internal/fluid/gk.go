@@ -22,13 +22,31 @@ type GKOptions struct {
 	// read-only on the length function within the phase). 0 means
 	// GOMAXPROCS. The result is identical at any worker count.
 	Workers int
-	// Ctx, if non-nil, is polled at every phase boundary: once it is done
-	// the solver stops routing and returns the (still feasible, possibly
+	// Ctx, if non-nil, is polled at every phase boundary and every
+	// gkCtxPollEvery routing iterations within a phase: once it is done the
+	// solver stops routing and returns the (still feasible, possibly
 	// far-from-optimal) flow accumulated so far. Callers that need to
 	// distinguish "converged" from "canceled" check Ctx.Err() after the
 	// call — the serving daemon uses this to propagate per-request
 	// deadlines and client disconnects into long solves.
 	Ctx context.Context
+	// WarmStart, when it has exactly one entry per arc of the network,
+	// seeds the solver's dual length function from a completed solve of a
+	// neighboring instance (see GKResult.Duals) instead of the uniform
+	// δ/cap cold start. Entries are rescaled so the starting potential
+	// D(l) matches the cold start's, so only the *shape* of the warm
+	// lengths carries over; non-positive, NaN or infinite entries fall
+	// back to the cold value per-arc. Warm solves terminate on the
+	// explicit primal/dual gap certificate (primal ≥ (1−ε)·dual) rather
+	// than the potential budget alone, so the returned throughput carries
+	// the same (1−ε) guarantee as a cold solve — warm starting can only
+	// change how fast it is reached, never the certificate. A wrong-length
+	// or nil slice is ignored (cold start).
+	WarmStart []float64
+	// ExportDuals makes the result carry the final per-arc dual lengths
+	// (GKResult.Duals), the state a neighboring scenario's solve warm
+	// starts from.
+	ExportDuals bool
 	// Observer, if non-nil, receives solver progress (phase boundaries and
 	// a final summary). The disabled cost is one interface nil check per
 	// phase plus an integer iteration counter — no allocations
@@ -81,12 +99,32 @@ type GKResult struct {
 	// UpperBound is the best dual bound observed; OPT ≤ UpperBound.
 	UpperBound float64
 	Phases     int
+	// Duals holds the final per-arc dual lengths when the solve ran with
+	// ExportDuals — the warm-start seed for a neighboring scenario
+	// (GKOptions.WarmStart). Nil otherwise.
+	Duals []float64
 }
 
 // gkDebugCheckD, when non-nil (set only by tests), receives the
 // incrementally maintained D(l) = Σ cap·length and a fresh rescan at every
 // phase boundary so the incremental bookkeeping can be checked for drift.
 var gkDebugCheckD func(incremental, rescan float64)
+
+// gkCtxPollEvery is how many routing Dijkstras run between Ctx polls inside
+// a phase. Phases on paper-scale instances run hundreds of routing
+// iterations, so phase-boundary-only polling could overrun a deadline by a
+// full phase; every-64 keeps the overrun bounded at well under a
+// millisecond while the poll itself (one atomic load in context.Context
+// implementations) stays invisible next to a Dijkstra.
+const gkCtxPollEvery = 64
+
+// warmDLimit bounds how far past the cold potential budget (D ≥ 1) a
+// warm-started solve may keep routing while it waits for its primal/dual
+// gap certificate. Warm solves on a well-matched neighbor certify within a
+// phase or two of D reaching 1; a pathological seed must not loop forever,
+// so past this potential the solver returns the (still certified-feasible,
+// possibly weaker-than-(1−ε)) primal it has.
+const warmDLimit = 64.0
 
 // MaxConcurrentFlow approximates the maximum concurrent flow for the given
 // commodities, i.e. the paper's "throughput per server" when demands are in
@@ -123,6 +161,27 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 	for i, a := range nw.Arcs {
 		length[i] = delta / a.Cap
 		D += a.Cap * length[i]
+	}
+	// Warm start: adopt the shape of a neighboring solve's final duals,
+	// rescaled to the cold starting potential D₀ = δ·m so the potential
+	// budget is unchanged. Arcs the neighbor did not have (or invalid
+	// entries) keep their cold value.
+	warm := false
+	if len(opt.WarmStart) == m {
+		sum := 0.0
+		for i, a := range nw.Arcs {
+			if w := opt.WarmStart[i]; w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+				length[i] = w
+			}
+			sum += a.Cap * length[i]
+		}
+		scale := D / sum
+		D = 0.0
+		for i, a := range nw.Arcs {
+			length[i] *= scale
+			D += a.Cap * length[i]
+		}
+		warm = true
 	}
 	flow := make([]float64, m)           // total flow per arc (all commodities)
 	routed := make([]float64, len(live)) // total routed per commodity
@@ -162,7 +221,21 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 	parent := make([]int32, nw.N)
 	phases := 0
 	iters := 0 // routing Dijkstras, reported through the observer
-	for D < 1 && phases < maxPhases {
+	canceled := false
+	for phases < maxPhases {
+		if D >= 1 {
+			// Cold solves stop on the potential budget: the classic analysis
+			// certifies (1−O(ε)) at D = 1. A warm seed reshapes the length
+			// function, so a warm solve instead runs until the explicit gap
+			// certificate closes (primal ≥ (1−ε)·dual), with warmDLimit as
+			// the safety valve against pathological seeds.
+			if !warm || D >= warmDLimit {
+				break
+			}
+			if p := primalValue(nw, live, flow, routed); !math.IsInf(dualBound, 1) && p >= (1-eps)*dualBound {
+				break
+			}
+		}
 		if opt.Ctx != nil && opt.Ctx.Err() != nil {
 			break // canceled: fall through to the primal value routed so far
 		}
@@ -201,9 +274,17 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 			}
 		}
 		// Route each commodity's full demand this phase.
+	routing:
 		for j, c := range live {
 			remaining := c.Demand
 			for remaining > 1e-15 {
+				// Mid-phase deadline poll: a phase routes hundreds of
+				// Dijkstras on paper-scale instances, so waiting for the
+				// phase boundary could overrun a deadline by a full phase.
+				if opt.Ctx != nil && iters > 0 && iters%gkCtxPollEvery == 0 && opt.Ctx.Err() != nil {
+					canceled = true
+					break routing
+				}
 				// Only dist[c.Dst] and the parent chain behind it are
 				// needed, so the Dijkstra stops as soon as dst settles.
 				d := sp.dijkstra(c.Src, length, parent, nil, c.Dst)
@@ -240,6 +321,9 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 				remaining -= f
 			}
 		}
+		if canceled {
+			break
+		}
 	}
 
 	thr := primalValue(nw, live, flow, routed)
@@ -249,7 +333,11 @@ func MaxConcurrentFlow(nw *Network, comms []Commodity, opt GKOptions) GKResult {
 	if opt.Observer != nil {
 		opt.Observer.GKDone(phases, iters, thr, dualBound)
 	}
-	return GKResult{Throughput: thr, UpperBound: dualBound, Phases: phases}
+	res := GKResult{Throughput: thr, UpperBound: dualBound, Phases: phases}
+	if opt.ExportDuals {
+		res.Duals = append([]float64(nil), length...)
+	}
+	return res
 }
 
 // parallelSources runs f(worker, k) for k in [0,n) on up to `workers`

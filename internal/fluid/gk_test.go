@@ -80,7 +80,7 @@ func TestGKDeterministicAcrossWorkers(t *testing.T) {
 				want = got
 				continue
 			}
-			if got != want {
+			if got.Throughput != want.Throughput || got.UpperBound != want.UpperBound || got.Phases != want.Phases {
 				t.Fatalf("seed %d: result differs at %d workers:\n got %+v\nwant %+v", seed, workers, got, want)
 			}
 		}

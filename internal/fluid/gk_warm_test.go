@@ -1,0 +1,228 @@
+package fluid
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+
+	"beyondft/internal/graph"
+)
+
+// warmTestScenario builds a base instance plus a perturbed neighbor (one
+// edge deleted) the way the what-if engine does: overlay the delta, rebuild
+// the arc network from the view, and map the base solve's duals onto the
+// scenario's arcs via ArcIndex.
+func warmTestScenario(t *testing.T, seed int64) (base, scen *Network, comms []Commodity) {
+	t.Helper()
+	nw, cs := gkTestInstance(seed)
+	// Rebuild the underlying graph from the network arcs so we can overlay
+	// a deletion. gkTestInstance keeps the graph private, so reconstruct.
+	g := graph.New(nw.N)
+	for _, a := range nw.Arcs {
+		if a.From < a.To {
+			g.AddEdgeMulti(a.From, a.To, int(a.Cap))
+		}
+	}
+	frozen := g.Frozen()
+	// Delete the first edge whose removal keeps the view connected.
+	var o *graph.Overlay
+	for _, e := range g.Edges() {
+		cand, err := graph.NewOverlay(frozen, graph.Delta{DelEdges: []graph.Edge{{U: e.U, V: e.V, Mult: e.Mult}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if graph.ViewConnected(cand) {
+			o = cand
+			break
+		}
+	}
+	if o == nil {
+		t.Skip("no single-edge deletion keeps this instance connected")
+	}
+	return nw, NewNetworkFromView(o, 1.0), cs
+}
+
+// mapDuals carries per-arc duals from the base network onto a scenario
+// network by (From,To) arc identity — the what-if warm-start mapping.
+func mapDuals(base *Network, duals []float64, scen *Network) []float64 {
+	out := make([]float64, len(scen.Arcs))
+	for i, a := range scen.Arcs {
+		if j := base.ArcIndex(a.From, a.To); j >= 0 {
+			out[i] = duals[j]
+		}
+	}
+	return out
+}
+
+// TestGKWarmStartAgreesWithCold is the tentpole correctness test: a warm
+// solve seeded from a neighboring scenario's duals must land within the
+// declared ε tolerance of the cold solve on the same instance.
+func TestGKWarmStartAgreesWithCold(t *testing.T) {
+	const eps = 0.05
+	tested := 0
+	for seed := int64(0); seed < 12; seed++ {
+		base, scen, comms := warmTestScenario(t, seed)
+		if len(comms) == 0 {
+			continue
+		}
+		baseRes := MaxConcurrentFlow(base, comms, GKOptions{Epsilon: eps, ExportDuals: true})
+		if baseRes.Duals == nil {
+			t.Fatalf("seed %d: ExportDuals solve returned nil duals", seed)
+		}
+		cold := MaxConcurrentFlow(scen, comms, GKOptions{Epsilon: eps})
+		warm := MaxConcurrentFlow(scen, comms, GKOptions{
+			Epsilon:   eps,
+			WarmStart: mapDuals(base, baseRes.Duals, scen),
+		})
+		if cold.Throughput <= 0 {
+			continue // deletion disconnected a commodity pair; nothing to compare
+		}
+		tested++
+		// Both runs certify ≥ (1−ε)·OPT and ≤ OPT, so they can differ by at
+		// most a (1−ε) factor either way; allow 2ε relative slack.
+		rel := math.Abs(warm.Throughput-cold.Throughput) / cold.Throughput
+		if rel > 2*eps {
+			t.Fatalf("seed %d: warm %.6f vs cold %.6f (rel %.4f > 2ε)",
+				seed, warm.Throughput, cold.Throughput, rel)
+		}
+		// Warm results carry the same certificate: primal never beats dual.
+		if warm.Throughput > warm.UpperBound+1e-9 {
+			t.Fatalf("seed %d: warm primal %.6f exceeds its dual bound %.6f",
+				seed, warm.Throughput, warm.UpperBound)
+		}
+	}
+	if tested < 6 {
+		t.Fatalf("only %d scenarios compared; instances too degenerate", tested)
+	}
+}
+
+// TestGKWarmStartDeterministicAcrossWorkers pins the whatif determinism
+// contract down to the solver: warm solves are bit-identical at any worker
+// count, like cold ones.
+func TestGKWarmStartDeterministicAcrossWorkers(t *testing.T) {
+	base, scen, comms := warmTestScenario(t, 3)
+	if len(comms) == 0 {
+		t.Skip("no commodities")
+	}
+	baseRes := MaxConcurrentFlow(base, comms, GKOptions{Epsilon: 0.05, ExportDuals: true})
+	seed := mapDuals(base, baseRes.Duals, scen)
+	var want GKResult
+	for i, workers := range []int{1, 2, runtime.NumCPU()} {
+		got := MaxConcurrentFlow(scen, comms, GKOptions{Epsilon: 0.05, Workers: workers, WarmStart: seed})
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got.Throughput != want.Throughput || got.UpperBound != want.UpperBound || got.Phases != want.Phases {
+			t.Fatalf("warm result differs at %d workers:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestGKWarmStartIgnoresBadSeeds: a wrong-length or garbage seed must not
+// change correctness — wrong length is ignored outright (bit-identical to
+// cold), garbage entries fall back per-arc.
+func TestGKWarmStartIgnoresBadSeeds(t *testing.T) {
+	nw, comms := gkTestInstance(5)
+	cold := MaxConcurrentFlow(nw, comms, GKOptions{Epsilon: 0.05})
+	short := MaxConcurrentFlow(nw, comms, GKOptions{Epsilon: 0.05, WarmStart: []float64{1, 2, 3}})
+	if short.Throughput != cold.Throughput || short.Phases != cold.Phases {
+		t.Fatalf("wrong-length seed changed the solve: %+v vs %+v", short, cold)
+	}
+	bad := make([]float64, len(nw.Arcs))
+	for i := range bad {
+		switch i % 3 {
+		case 0:
+			bad[i] = math.NaN()
+		case 1:
+			bad[i] = math.Inf(1)
+		default:
+			bad[i] = -1
+		}
+	}
+	res := MaxConcurrentFlow(nw, comms, GKOptions{Epsilon: 0.05, WarmStart: bad})
+	if res.Throughput <= 0 {
+		t.Fatalf("all-garbage seed broke the solve: %+v", res)
+	}
+	rel := math.Abs(res.Throughput-cold.Throughput) / cold.Throughput
+	if rel > 0.1 {
+		t.Fatalf("garbage-seeded solve %.6f too far from cold %.6f", res.Throughput, cold.Throughput)
+	}
+}
+
+// TestGKExportDualsShape: duals are exported exactly when asked, one entry
+// per arc, all positive and finite.
+func TestGKExportDualsShape(t *testing.T) {
+	nw, comms := gkTestInstance(2)
+	plain := MaxConcurrentFlow(nw, comms, GKOptions{Epsilon: 0.1})
+	if plain.Duals != nil {
+		t.Fatalf("Duals exported without ExportDuals")
+	}
+	res := MaxConcurrentFlow(nw, comms, GKOptions{Epsilon: 0.1, ExportDuals: true})
+	if len(res.Duals) != len(nw.Arcs) {
+		t.Fatalf("got %d duals for %d arcs", len(res.Duals), len(nw.Arcs))
+	}
+	for i, d := range res.Duals {
+		if !(d > 0) || math.IsInf(d, 1) {
+			t.Fatalf("dual[%d] = %v not positive finite", i, d)
+		}
+	}
+}
+
+// countingCtx flips to canceled after Err has been called `after` times —
+// a deterministic stand-in for a deadline firing mid-phase.
+type countingCtx struct {
+	context.Context
+	calls, after int
+}
+
+func (c *countingCtx) Err() error {
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestGKMidPhaseCancellation is the satellite regression test: with many
+// commodities a single phase runs hundreds of routing Dijkstras, and a
+// cancellation landing inside the phase must stop the solver within one
+// polling window (gkCtxPollEvery iterations), not at the next phase
+// boundary.
+func TestGKMidPhaseCancellation(t *testing.T) {
+	// All-to-all commodities on a ring+chords graph: one phase routes at
+	// least n·(n−1) Dijkstras, far more than one polling window.
+	g := graph.New(16)
+	n := g.N()
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+		g.AddEdge(v, (v+5)%n)
+	}
+	nw := NewNetwork(g, 1.0)
+	var comms []Commodity
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				comms = append(comms, Commodity{Src: s, Dst: d, Demand: 1})
+			}
+		}
+	}
+	// Let the context survive the pre-loop checks (loop top + first few
+	// mid-phase polls), then cancel: the solver is mid-phase 1.
+	ctx := &countingCtx{Context: context.Background(), after: 1}
+	var tel GKTelemetry
+	res := MaxConcurrentFlow(nw, comms, GKOptions{Epsilon: 0.05, Ctx: ctx, Observer: &tel})
+	if res.Phases != 1 {
+		t.Fatalf("mid-phase cancel should stop within phase 1, ran %d phases", res.Phases)
+	}
+	// The second Err() call happens at the first in-phase poll (iteration
+	// gkCtxPollEvery); cancellation lands by the next poll at latest.
+	if tel.Iterations > 2*gkCtxPollEvery {
+		t.Fatalf("canceled solve still ran %d routing iterations (poll window %d)",
+			tel.Iterations, gkCtxPollEvery)
+	}
+	if tel.Iterations == 0 {
+		t.Fatalf("solver stopped before routing anything; cancel landed too early for a mid-phase test")
+	}
+}

@@ -18,7 +18,7 @@ import (
 // layered the same way as experiments.CodeSalt: bump it whenever the
 // topology constructors, the GK solver, or the path kernels change their
 // numeric output, so stale cached query results are invalidated.
-const CodeSalt = "serve-v1+" + "gk-incremental-d"
+const CodeSalt = "serve-v1+" + "gk-warm-whatif"
 
 // maxSwitches bounds ad-hoc topology sizes. The service computes what-if
 // queries interactively; a request for a million-switch Jellyfish belongs

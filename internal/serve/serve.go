@@ -31,6 +31,7 @@ import (
 	"beyondft/internal/experiments"
 	"beyondft/internal/harness"
 	"beyondft/internal/obs"
+	"beyondft/internal/whatif"
 )
 
 // Config configures a Server.
@@ -62,14 +63,15 @@ type Config struct {
 
 // Server is the HTTP front of the serving core.
 type Server struct {
-	cfg     Config
-	reg     *harness.Registry
-	engine  *Engine
-	metrics *Metrics
-	mux     *http.ServeMux
-	hs      *http.Server
-	ln      net.Listener
-	started time.Time
+	cfg           Config
+	reg           *harness.Registry
+	engine        *Engine
+	metrics       *Metrics
+	whatifMetrics *whatif.Metrics
+	mux           *http.ServeMux
+	hs            *http.Server
+	ln            net.Listener
+	started       time.Time
 
 	draining atomic.Bool
 
@@ -95,9 +97,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	metrics := NewMetrics()
 	s := &Server{
-		cfg:     cfg,
-		reg:     cfg.Experiments.Registry(),
-		metrics: metrics,
+		cfg:           cfg,
+		reg:           cfg.Experiments.Registry(),
+		metrics:       metrics,
+		whatifMetrics: whatif.NewMetrics(metrics.Registry()),
 		engine: NewEngine(EngineConfig{
 			L1Bytes:    cfg.L1Bytes,
 			L2:         l2,
@@ -117,6 +120,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/jobs/{name}/run", s.handleJobRun)
 	s.mux.HandleFunc("POST /v1/throughput", s.handleThroughput)
 	s.mux.HandleFunc("POST /v1/pathstats", s.handlePathStats)
+	s.mux.HandleFunc("POST /v1/whatif", s.handleWhatif)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"beyondft/internal/fluid"
+	"beyondft/internal/harness"
+	"beyondft/internal/obs"
+	"beyondft/internal/tm"
+	"beyondft/internal/whatif"
+	"beyondft/internal/workload"
+)
+
+// maxWhatifScenarios bounds how many scenarios one interactive request may
+// enumerate. A full single-link sweep on an 8k-switch fabric is a batch
+// workload — `runner run 'whatif*'` — not a request; the cap keeps a single
+// POST from occupying a compute slot for minutes.
+const maxWhatifScenarios = 4096
+
+// WhatifRequest is the body of POST /v1/whatif: evaluate a scenario family
+// (failures, expansions) against a base topology under a traffic matrix,
+// with warm-started solves and the ε ladder. `?stream=1` switches the
+// response to NDJSON with one line per finished scenario.
+type WhatifRequest struct {
+	Topo TopoSpec `json:"topo"`
+	// TM is the traffic matrix family: longest-matching (default),
+	// permutation, or all-to-all. Demands always live on the base racks,
+	// also for rack-add scenarios (added racks contribute capacity only).
+	TM string `json:"tm,omitempty"`
+	// X is the fraction of active racks (default 1).
+	X float64 `json:"x,omitempty"`
+	// Seed drives workload randomness; independent of Topo.Seed and
+	// Family.Seed. Default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Family selects and sizes the scenario family.
+	Family whatif.FamilySpec `json:"family"`
+	// Ladder tunes the ε ladder; zero values take the engine defaults.
+	Ladder whatif.Ladder `json:"ladder,omitempty"`
+
+	// Handler-injected state; unexported, so it stays out of spec() and
+	// the cache key.
+	metrics *Metrics
+	wm      *whatif.Metrics
+	cache   *harness.Cache
+	stream  func(whatif.Result)
+}
+
+func (r *WhatifRequest) normalize() error {
+	if err := r.Topo.normalize(); err != nil {
+		return err
+	}
+	if r.TM == "" {
+		r.TM = "longest-matching"
+	}
+	switch r.TM {
+	case "longest-matching", "permutation", "all-to-all":
+	default:
+		return fmt.Errorf("unknown tm %q (want longest-matching|permutation|all-to-all)", r.TM)
+	}
+	if r.X == 0 {
+		r.X = 1
+	}
+	if r.X < 0 || r.X > 1 {
+		return fmt.Errorf("x=%g: need (0,1]", r.X)
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if err := r.Family.Normalize(); err != nil {
+		return err
+	}
+	return r.Ladder.Normalize()
+}
+
+// spec is the canonical cache spec of the full request (normalized JSON).
+func (r *WhatifRequest) spec() string {
+	data, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("serve: encode whatif spec: %v", err))
+	}
+	return string(data)
+}
+
+// baseSpec canonically describes everything a single scenario's result
+// depends on besides its delta and ε: the base topology and traffic
+// matrix. It deliberately excludes Family and Ladder, so per-scenario
+// cache entries are shared across families and ladder configs that touch
+// the same deltas.
+func (r *WhatifRequest) baseSpec() string {
+	data, err := json.Marshal(struct {
+		Topo TopoSpec `json:"topo"`
+		TM   string   `json:"tm"`
+		X    float64  `json:"x"`
+		Seed int64    `json:"seed"`
+	}{r.Topo, r.TM, r.X, r.Seed})
+	if err != nil {
+		panic(fmt.Sprintf("serve: encode whatif base spec: %v", err))
+	}
+	return string(data)
+}
+
+// WhatifResult is the response payload of /v1/whatif (the `done` line of a
+// streamed response).
+type WhatifResult struct {
+	Topology  string         `json:"topology"`
+	Switches  int            `json:"switches"`
+	Servers   int            `json:"servers"`
+	TMName    string         `json:"tm"`
+	Racks     int            `json:"racks"`
+	Family    string         `json:"family"`
+	Scenarios int            `json:"scenarios"`
+	Report    *whatif.Report `json:"report"`
+}
+
+// run evaluates the sweep. Deterministic for a given spec, so the whole
+// response is content-addressable like every other engine compute.
+func (r *WhatifRequest) run(ctx context.Context) (json.RawMessage, error) {
+	sp := obs.SpanFromContext(ctx)
+	buildSp := sp.Child("build-topology")
+	t, err := r.Topo.build()
+	buildSp.End()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	racks := workload.ActiveRacks(t, r.X, r.Topo.Kind == "fattree", rng)
+	serversOf := func(rack int) int { return t.Servers[rack] }
+	var m *tm.TM
+	switch r.TM {
+	case "longest-matching":
+		m = tm.LongestMatching(t.G, racks, serversOf)
+	case "permutation":
+		if len(racks)%2 == 1 {
+			racks = racks[:len(racks)-1]
+		}
+		m = tm.RandomPermutation(racks, serversOf, rng)
+	case "all-to-all":
+		m = tm.AllToAll(racks, serversOf)
+	}
+	if err := m.ValidateHose(serversOf); err != nil {
+		return nil, fmt.Errorf("traffic matrix violates hose model: %w", err)
+	}
+	scens, err := whatif.Scenarios(t.G, r.Family)
+	if err != nil {
+		return nil, err
+	}
+	if len(scens) > maxWhatifScenarios {
+		return nil, fmt.Errorf("family %q enumerates %d scenarios > limit %d (run it through the batch harness)",
+			r.Family.Kind, len(scens), maxWhatifScenarios)
+	}
+	var sc *whatif.ScenarioCache
+	if r.cache != nil {
+		sc = &whatif.ScenarioCache{Cache: r.cache, BaseSpec: r.baseSpec()}
+	}
+	rep, err := whatif.Evaluate(t.G, fluid.Commodities(m), scens, whatif.Options{
+		Ladder:   r.Ladder,
+		Ctx:      ctx,
+		Cache:    sc,
+		Metrics:  r.wm,
+		Span:     sp,
+		OnResult: r.stream,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.metrics != nil {
+		r.metrics.GKIterations.Add(rep.Iterations)
+	}
+	out := WhatifResult{
+		Topology:  t.Name,
+		Switches:  t.NumSwitches(),
+		Servers:   t.TotalServers(),
+		TMName:    m.Name,
+		Racks:     len(racks),
+		Family:    r.Family.Kind,
+		Scenarios: len(scens),
+		Report:    rep,
+	}
+	return json.Marshal(&out)
+}
+
+// whatifStreamLine is one NDJSON line of a streamed sweep: exactly one of
+// the fields is set. Scenario lines arrive in completion order (promoted
+// scenarios appear twice, the fine result flagged `promoted`); the
+// terminal line is either `done` or `error`.
+type whatifStreamLine struct {
+	Scenario *whatif.Result  `json:"scenario,omitempty"`
+	Done     json.RawMessage `json:"done,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	var req WhatifRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeBadRequest(w, err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		s.writeBadRequest(w, err)
+		return
+	}
+	req.metrics = s.metrics
+	req.wm = s.whatifMetrics
+	req.cache = s.engine.l2
+	if r.URL.Query().Get("stream") == "1" {
+		s.serveWhatifStream(w, r, &req)
+		return
+	}
+	s.serveQuery(w, r, "/v1/whatif", "v1/whatif", req.spec(), CodeSalt, req.run)
+}
+
+// serveWhatifStream runs the sweep outside the result cache (a stream
+// cannot be replayed from a cache entry — though the per-scenario L2
+// entries still make re-streams cheap), but inside admission control: a
+// sweep is a compute like any other and must not bypass load shedding.
+func (s *Server) serveWhatifStream(w http.ResponseWriter, r *http.Request, req *WhatifRequest) {
+	start := time.Now()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if err := s.engine.adm.acquire(ctx); err != nil {
+		if err == errSaturated {
+			s.metrics.Rejected.Add(1)
+		}
+		s.writeEngineError(w, err)
+		return
+	}
+	defer s.engine.adm.release()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	req.stream = func(res whatif.Result) {
+		// Evaluate serializes OnResult calls; encoder use is safe here.
+		enc.Encode(whatifStreamLine{Scenario: &res})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	data, err := req.run(ctx)
+	elapsed := time.Since(start)
+	s.metrics.Latency("/v1/whatif").Observe(elapsed)
+	if err != nil {
+		// Headers (200) are already on the wire once scenario lines have
+		// streamed; errors terminate the stream in-band.
+		s.metrics.Errors.Add(1)
+		enc.Encode(whatifStreamLine{Error: err.Error()})
+		return
+	}
+	s.metrics.Computed.Add(1)
+	enc.Encode(whatifStreamLine{Done: data})
+}

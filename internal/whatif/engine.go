@@ -1,0 +1,384 @@
+package whatif
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"beyondft/internal/fluid"
+	"beyondft/internal/graph"
+	"beyondft/internal/obs"
+	"beyondft/internal/stats"
+)
+
+// histBins is the fixed bin count of the report histogram over [0,1].
+const histBins = 20
+
+// Options tunes an Evaluate sweep.
+type Options struct {
+	// Ladder is the ε-ladder policy; zero values take the defaults
+	// (coarse 0.25, fine 0.08, top-k 8).
+	Ladder Ladder
+	// Workers is the scenario-level parallelism (scenarios are solved
+	// concurrently, each solve single-threaded — at family scale that
+	// beats intra-solve parallelism). 0 means graph.Parallelism(). The
+	// report is identical at any worker count.
+	Workers int
+	// LinkCap is the per-unit-multiplicity link capacity (default 1.0,
+	// matching the rest of the repo's server-line-rate units).
+	LinkCap float64
+	// Ctx, if non-nil, cancels the sweep: Evaluate returns ctx.Err() and
+	// no report. Propagated into every GK solve at iteration granularity.
+	Ctx context.Context
+	// NoWarm disables warm starts (every solve runs cold). Used by the
+	// cost-comparison tests and available for A/B-ing the mechanism.
+	NoWarm bool
+	// NoLadder solves every scenario directly at FineEps (no coarse rung,
+	// no promotion).
+	NoLadder bool
+	// Cache, if non-nil, serves and stores per-scenario results by
+	// content address, making sweeps resumable.
+	Cache *ScenarioCache
+	// Metrics, if non-nil, receives engine counters and rung latencies.
+	Metrics *Metrics
+	// Span, if non-nil, gets per-rung children with scenario counts and
+	// warm/cache hit attributes.
+	Span *obs.Span
+	// OnResult, if non-nil, streams results as scenarios finish — in
+	// completion order, possibly concurrently with other solves (calls
+	// are serialized). Promoted scenarios are streamed twice: once with
+	// the coarse result, once with Promoted set.
+	OnResult func(Result)
+}
+
+// Evaluate runs the scenario family against the base graph and commodity
+// set. The report's Results are index-aligned with scenarios, and the
+// whole report is deterministic: same inputs give bit-identical results at
+// any worker count, with or without a populated cache.
+func Evaluate(g *graph.Graph, comms []fluid.Commodity, scenarios []Scenario, opt Options) (*Report, error) {
+	if err := opt.Ladder.Normalize(); err != nil {
+		return nil, err
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = &Metrics{} // all-nil instruments: obs types no-op on nil
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = graph.Parallelism()
+	}
+	linkCap := opt.LinkCap
+	if linkCap == 0 {
+		linkCap = 1.0
+	}
+	coarseEps, fineEps := opt.Ladder.CoarseEps, opt.Ladder.FineEps
+	if opt.NoLadder {
+		coarseEps = fineEps
+	}
+
+	base := g.Frozen()
+	baseNW := fluid.NewNetworkFromView(base, linkCap)
+	rep := &Report{Results: make([]Result, len(scenarios))}
+	var iterations atomic.Int64
+
+	solve := func(nw *fluid.Network, eps float64, warm []float64, export bool) fluid.GKResult {
+		var tel fluid.GKTelemetry
+		res := fluid.MaxConcurrentFlow(nw, comms, fluid.GKOptions{
+			Epsilon:     eps,
+			Workers:     1,
+			Ctx:         opt.Ctx,
+			WarmStart:   warm,
+			ExportDuals: export,
+			Observer:    &tel,
+		})
+		iterations.Add(int64(tel.Iterations))
+		return res
+	}
+
+	// Base rung: one cold coarse solve exports the duals every scenario
+	// warm-starts from; the reported base result is a fine solve
+	// warm-started from it (same network, duals map 1:1).
+	baseSp := opt.Span.Child("base-solve")
+	baseCoarse := solve(baseNW, coarseEps, nil, true)
+	var baseFine fluid.GKResult
+	if opt.NoLadder {
+		baseFine = baseCoarse
+	} else {
+		var warm []float64
+		if !opt.NoWarm {
+			warm = baseCoarse.Duals
+		}
+		baseFine = solve(baseNW, fineEps, warm, false)
+	}
+	baseSp.SetAttr("phases", float64(baseCoarse.Phases+baseFine.Phases))
+	baseSp.End()
+	if opt.Ctx != nil && opt.Ctx.Err() != nil {
+		return nil, opt.Ctx.Err()
+	}
+	rep.Base = Result{
+		ID:         "base",
+		Throughput: baseFine.Throughput,
+		UpperBound: baseFine.UpperBound,
+		Epsilon:    fineEps,
+		Phases:     baseFine.Phases,
+	}
+	baseDuals := baseCoarse.Duals
+	if opt.NoWarm {
+		baseDuals = nil
+	}
+
+	var mu sync.Mutex // guards rep counters and OnResult
+	emit := func(r Result) {
+		if opt.OnResult == nil {
+			return
+		}
+		mu.Lock()
+		opt.OnResult(r)
+		mu.Unlock()
+	}
+
+	// Coarse rung: every scenario, overlay-patched and warm-started from
+	// the base duals. coarseDuals[i] keeps each solved scenario's own
+	// duals to warm its fine re-solve if it makes the frontier.
+	coarseSp := opt.Span.Child("rung-coarse")
+	coarseDuals := make([][]float64, len(scenarios))
+	errs := make([]error, len(scenarios))
+	runScenario := func(i int) {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			return
+		}
+		s := scenarios[i]
+		if r, ok := opt.Cache.get(s, coarseEps); ok {
+			mu.Lock()
+			rep.CacheHits++
+			mu.Unlock()
+			opt.Metrics.CacheHits.Inc()
+			rep.Results[i] = r
+			emit(r)
+			return
+		}
+		ov, err := graph.NewOverlay(base, s.Delta)
+		if err != nil {
+			errs[i] = fmt.Errorf("scenario %s: %w", s.ID, err)
+			return
+		}
+		r := Result{ID: s.ID, Epsilon: coarseEps}
+		if !reachable(ov, comms) {
+			r.Disconnected = true
+			opt.Metrics.Disconnected.Inc()
+		} else {
+			nw := fluid.NewNetworkFromView(ov, linkCap)
+			warm := mapDuals(baseNW, baseDuals, nw)
+			if warm != nil {
+				opt.Metrics.WarmHits.Inc()
+			} else {
+				opt.Metrics.WarmMisses.Inc()
+			}
+			t0 := time.Now()
+			res := solve(nw, coarseEps, warm, true)
+			opt.Metrics.RungCoarse.Observe(time.Since(t0))
+			coarseDuals[i] = res.Duals
+			r.Throughput, r.UpperBound, r.Phases = res.Throughput, res.UpperBound, res.Phases
+			mu.Lock()
+			rep.Evaluated++
+			if warm != nil {
+				rep.WarmHits++
+			}
+			mu.Unlock()
+		}
+		opt.Metrics.Scenarios.Inc()
+		opt.Cache.put(s, coarseEps, r)
+		rep.Results[i] = r
+		emit(r)
+	}
+	parallelFor(workers, len(scenarios), runScenario)
+	coarseSp.SetAttr("scenarios", float64(len(scenarios)))
+	coarseSp.End()
+	if opt.Ctx != nil && opt.Ctx.Err() != nil {
+		return nil, opt.Ctx.Err()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Fine rung: promote the worst-k connected scenarios. Ranking is by
+	// (coarse throughput, ID) so the frontier — like everything else — is
+	// independent of completion order.
+	if !opt.NoLadder && opt.Ladder.TopK > 0 {
+		fineSp := opt.Span.Child("rung-fine")
+		frontier := make([]int, 0, len(scenarios))
+		for i, r := range rep.Results {
+			if !r.Disconnected {
+				frontier = append(frontier, i)
+			}
+		}
+		sort.Slice(frontier, func(a, b int) bool {
+			ra, rb := rep.Results[frontier[a]], rep.Results[frontier[b]]
+			if ra.Throughput != rb.Throughput {
+				return ra.Throughput < rb.Throughput
+			}
+			return ra.ID < rb.ID
+		})
+		if len(frontier) > opt.Ladder.TopK {
+			frontier = frontier[:opt.Ladder.TopK]
+		}
+		promote := func(k int) {
+			if opt.Ctx != nil && opt.Ctx.Err() != nil {
+				return
+			}
+			i := frontier[k]
+			s := scenarios[i]
+			if r, ok := opt.Cache.get(s, fineEps); ok {
+				r.Promoted = true
+				mu.Lock()
+				rep.CacheHits++
+				mu.Unlock()
+				opt.Metrics.CacheHits.Inc()
+				rep.Results[i] = r
+				emit(r)
+				return
+			}
+			ov, err := graph.NewOverlay(base, s.Delta)
+			if err != nil {
+				errs[i] = fmt.Errorf("scenario %s: %w", s.ID, err)
+				return
+			}
+			nw := fluid.NewNetworkFromView(ov, linkCap)
+			// Prefer the scenario's own coarse duals (same arc layout, no
+			// mapping); a cache-hit coarse rung has none, so fall back to
+			// the mapped base duals.
+			warm := coarseDuals[i]
+			if warm == nil {
+				warm = mapDuals(baseNW, baseDuals, nw)
+			}
+			if warm != nil {
+				opt.Metrics.WarmHits.Inc()
+			} else {
+				opt.Metrics.WarmMisses.Inc()
+			}
+			t0 := time.Now()
+			res := solve(nw, fineEps, warm, false)
+			opt.Metrics.RungFine.Observe(time.Since(t0))
+			opt.Metrics.Promotions.Inc()
+			r := Result{
+				ID:         s.ID,
+				Throughput: res.Throughput,
+				UpperBound: res.UpperBound,
+				Epsilon:    fineEps,
+				Phases:     res.Phases,
+			}
+			opt.Cache.put(s, fineEps, r)
+			r.Promoted = true
+			mu.Lock()
+			rep.Promoted++
+			rep.Evaluated++
+			if warm != nil {
+				rep.WarmHits++
+			}
+			mu.Unlock()
+			rep.Results[i] = r
+			emit(r)
+		}
+		parallelFor(workers, len(frontier), promote)
+		fineSp.SetAttr("promoted", float64(len(frontier)))
+		fineSp.End()
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			return nil, opt.Ctx.Err()
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, i := range frontier {
+			rep.WorstIDs = append(rep.WorstIDs, rep.Results[i].ID)
+		}
+	}
+
+	vals := make([]float64, len(rep.Results))
+	for i, r := range rep.Results {
+		v := r.Throughput
+		if v > 1 {
+			v = 1
+		}
+		vals[i] = v
+	}
+	rep.Hist = stats.FixedHist(vals, 0, 1, histBins)
+	rep.Iterations = iterations.Load()
+	return rep, nil
+}
+
+// reachable reports whether every commodity's endpoints can still reach
+// each other on the perturbed view — BFS per distinct source, the cheap
+// precheck that turns "switch hosting a demand failed" into an explicit
+// Disconnected result instead of a futile solve.
+func reachable(v graph.View, comms []fluid.Commodity) bool {
+	byStr := map[int][]int{}
+	for _, c := range comms {
+		if c.Demand > 0 && c.Src != c.Dst {
+			byStr[c.Src] = append(byStr[c.Src], c.Dst)
+		}
+	}
+	for src, dsts := range byStr {
+		dist := graph.ViewBFS(v, src)
+		for _, d := range dsts {
+			if dist[d] < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mapDuals carries the base solve's per-arc duals onto a scenario network
+// by (From,To) arc identity: arcs the scenario shares with the base take
+// the base dual, scenario-only arcs (additions) are left 0, which the
+// solver replaces with its cold per-arc value. Returns nil (cold start)
+// when duals is nil.
+func mapDuals(base *fluid.Network, duals []float64, scen *fluid.Network) []float64 {
+	if duals == nil {
+		return nil
+	}
+	out := make([]float64, len(scen.Arcs))
+	for i, a := range scen.Arcs {
+		if j := base.ArcIndex(a.From, a.To); j >= 0 {
+			out[i] = duals[j]
+		}
+	}
+	return out
+}
+
+// parallelFor runs f(i) for i in [0,n) on up to `workers` goroutines. Each
+// index is handled exactly once; callers write results by index, so the
+// outcome is schedule-independent.
+func parallelFor(workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
