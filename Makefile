@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race vet bench bench-all bench-smoke serve-smoke validate-smoke whatif-smoke fuzz-smoke fuzz cover figures figures-full run examples clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke serve-smoke validate-smoke whatif-smoke sim-scale-smoke fuzz-smoke fuzz cover figures figures-full run examples clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: vet bench-smoke serve-smoke validate-smoke whatif-smoke fuzz-smoke cover
+test: vet bench-smoke serve-smoke validate-smoke whatif-smoke sim-scale-smoke fuzz-smoke cover
 
 # Full test suite with the per-package coverage gate (see README "Coverage
 # gate"): every internal/ package must hold >= 60% statement coverage.
@@ -51,6 +51,26 @@ whatif-smoke:
 	@echo "whatif-smoke: ok (single-link sweep deterministic across workers and cache resume)"
 	@rm -rf $(WHATIF_DIR)
 
+# Scale-tier smoke (DESIGN.md §13): the same flowsim workload at 1, 2 and 8
+# event-loop shards, and once more split across a checkpoint/resume (resuming
+# into yet another shard count) — stdout (counters, slab high water, full
+# sketch JSON) must be byte-identical every time. Wired into `make test`.
+SIMSCALE_DIR := .simscale-smoke
+SIMSCALE_ARGS := -k 4 -flows 2000
+sim-scale-smoke:
+	@rm -rf $(SIMSCALE_DIR) && mkdir -p $(SIMSCALE_DIR)
+	@go build -o $(SIMSCALE_DIR)/simscale ./cmd/simscale
+	@$(SIMSCALE_DIR)/simscale $(SIMSCALE_ARGS) -shards 1 > $(SIMSCALE_DIR)/s1.out
+	@$(SIMSCALE_DIR)/simscale $(SIMSCALE_ARGS) -shards 2 > $(SIMSCALE_DIR)/s2.out
+	@$(SIMSCALE_DIR)/simscale $(SIMSCALE_ARGS) -shards 8 > $(SIMSCALE_DIR)/s8.out
+	@cmp $(SIMSCALE_DIR)/s1.out $(SIMSCALE_DIR)/s2.out || { echo "sim-scale-smoke: 2 shards changed the simulation"; exit 1; }
+	@cmp $(SIMSCALE_DIR)/s1.out $(SIMSCALE_DIR)/s8.out || { echo "sim-scale-smoke: 8 shards changed the simulation"; exit 1; }
+	@$(SIMSCALE_DIR)/simscale $(SIMSCALE_ARGS) -shards 2 -halt-after 1000 -checkpoint $(SIMSCALE_DIR)/cp.json > /dev/null
+	@$(SIMSCALE_DIR)/simscale $(SIMSCALE_ARGS) -shards 4 -resume $(SIMSCALE_DIR)/cp.json > $(SIMSCALE_DIR)/resumed.out
+	@cmp $(SIMSCALE_DIR)/s1.out $(SIMSCALE_DIR)/resumed.out || { echo "sim-scale-smoke: checkpoint resume changed the simulation"; exit 1; }
+	@echo "sim-scale-smoke: ok (byte-identical across 1/2/8 shards and a 2-shard checkpoint resumed at 4 shards)"
+	@rm -rf $(SIMSCALE_DIR)
+
 # The native fuzz targets' seed corpora, run as plain tests so `make test`
 # catches postcondition regressions without fuzzing time.
 FUZZ_PKGS := ./internal/graph ./internal/minheap ./internal/sim ./internal/topology
@@ -72,19 +92,25 @@ vet:
 
 # Tracked perf-trajectory benchmarks (see README "Benchmark trajectory"):
 # fixed -benchtime/-count so BENCH_pr<N>.json files are comparable across
-# PRs. Append new kernels to BENCH_PATTERN as they land.
-BENCH_PATTERN := BenchmarkAPSP|BenchmarkPathStats|BenchmarkBFS|BenchmarkDijkstra|BenchmarkLongestMatching|BenchmarkMaxConcurrentFlow|BenchmarkGKMaxConcurrentFlow|BenchmarkServeThroughputCached|BenchmarkGKObserverDisabled|BenchmarkWhatifSingleLinkSweep
-BENCH_OUT := BENCH_pr6.json
+# PRs. Append new kernels to BENCH_PATTERN as they land. The scale-tier
+# benchmarks (BenchmarkFlowsimScale10M, BenchmarkNetsimScale1M) skip unless
+# BEYONDFT_SCALE=1 — `BEYONDFT_SCALE=1 make bench BENCH_COUNT=1` records
+# them; a plain `make bench` records only the fast kernels. benchjson also
+# gates BenchmarkFlowsimSteadyState at zero allocs/op, so the slab-recycled
+# event path cannot silently regress.
+BENCH_PATTERN := BenchmarkAPSP|BenchmarkPathStats|BenchmarkBFS|BenchmarkDijkstra|BenchmarkLongestMatching|BenchmarkMaxConcurrentFlow|BenchmarkGKMaxConcurrentFlow|BenchmarkServeThroughputCached|BenchmarkGKObserverDisabled|BenchmarkWhatifSingleLinkSweep|BenchmarkFlowsimSteadyState|BenchmarkFlowsimScale10M|BenchmarkNetsimScale1M
+BENCH_DIRS := ./internal/graph ./internal/fluid ./internal/tm ./internal/serve ./internal/whatif ./internal/flowsim ./internal/netsim .
+BENCH_OUT := BENCH_pr7.json
+BENCH_COUNT := 3
 bench:
-	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -count 3 -benchmem -timeout 0 \
-		./internal/graph ./internal/fluid ./internal/tm ./internal/serve ./internal/whatif . \
-		| go run ./cmd/benchjson -o $(BENCH_OUT)
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -count $(BENCH_COUNT) -benchmem -timeout 0 \
+		$(BENCH_DIRS) \
+		| go run ./cmd/benchjson -max-allocs BenchmarkFlowsimSteadyState=0 -o $(BENCH_OUT)
 
 # One iteration of the tracked benchmarks, wired into `make test` so they
 # cannot bit-rot between perf PRs.
 bench-smoke:
-	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x \
-		./internal/graph ./internal/fluid ./internal/tm ./internal/serve ./internal/whatif .
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x $(BENCH_DIRS)
 
 # End-to-end smoke of the query daemon (see DESIGN.md §8): boot it on a
 # free port, probe it exactly like a client would (curl /healthz and one

@@ -42,8 +42,31 @@ type File struct {
 //	BenchmarkAPSP/parallel-8   100   11915343 ns/op   954 B/op   20 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
 
+// allocGates collects repeated -max-allocs name=N flags: a hard ceiling on
+// allocs/op per named benchmark, so steady-state zero-alloc kernels cannot
+// silently regress.
+type allocGates map[string]int64
+
+func (g allocGates) String() string { return fmt.Sprintf("%v", map[string]int64(g)) }
+
+func (g allocGates) Set(v string) error {
+	name, limit, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=N, got %q", v)
+	}
+	n, err := strconv.ParseInt(limit, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad limit in %q: %w", v, err)
+	}
+	g[name] = n
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	gates := allocGates{}
+	flag.Var(gates, "max-allocs",
+		"benchmark=N: fail if the named benchmark exceeds N allocs/op (repeatable; requires -benchmem input)")
 	flag.Parse()
 
 	f := File{Format: "beyondft-bench-v1", Benchmarks: map[string]Result{}}
@@ -86,6 +109,17 @@ func main() {
 	if len(f.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	for name, limit := range gates {
+		r, ok := f.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: -max-allocs %s=%d: benchmark not in input\n", name, limit)
+			os.Exit(1)
+		}
+		if r.AllocsPerOp > limit {
+			fmt.Fprintf(os.Stderr, "benchjson: %s allocates %d/op, gate is %d/op\n", name, r.AllocsPerOp, limit)
+			os.Exit(1)
+		}
 	}
 	data, err := json.MarshalIndent(f, "", "  ") // map keys marshal sorted: stable diffs
 	if err != nil {

@@ -5,10 +5,17 @@
 // Example:
 //
 //	pktsim -topo xpander -routing hyb -pairs skew -lambda 2000 -measure 200
+//
+// -stream switches to bounded-memory mode: completed flows are recycled
+// into the slab and statistics stream through the quantile sketch instead
+// of retained records. -checkpoint/-halt-at suspend a run mid-experiment
+// and -resume continues it; the resumed run's metrics are bit-identical to
+// an uninterrupted one as long as every other flag matches.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -40,6 +47,10 @@ func main() {
 	warmupMs := flag.Int64("warmup", 50, "warmup before measuring (ms)")
 	maxMs := flag.Int64("max", 2000, "simulation cap (ms)")
 	nosrv := flag.Bool("ignore-server-links", false, "model server links as unconstrained")
+	stream := flag.Bool("stream", false, "bounded memory: recycle completed flows, stream stats through sketches")
+	checkpoint := flag.String("checkpoint", "", "with -halt-at: write a checkpoint (JSON) here and exit")
+	haltAtMs := flag.Int64("halt-at", 0, "suspend at this simulated time (ms) and write -checkpoint")
+	resume := flag.String("resume", "", "resume from a checkpoint file (other flags must match the original run)")
 	flowLog := flag.String("flowlog", "", "write per-flow records (CSV) to this file")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", graph.EnvParallelism(),
@@ -126,12 +137,68 @@ func main() {
 	if *nosrv {
 		cfg.ServerLinkRateGbps = 4000
 	}
+	// Checkpointing needs the bounded-memory path (retained flow records
+	// would make snapshots grow without bound), so it implies -stream.
+	if *stream || *checkpoint != "" || *resume != "" {
+		cfg.DiscardCompleted = true
+		if *flowLog != "" {
+			fmt.Fprintln(os.Stderr, "-flowlog needs retained flow records; drop -stream/-checkpoint/-resume")
+			os.Exit(1)
+		}
+	}
 	net := netsim.NewNetwork(t, cfg)
 	start := sim.Time(*warmupMs) * sim.Millisecond
 	end := start + sim.Time(*measureMs)*sim.Millisecond
 	exp := workload.DefaultExperiment(pairs, sizes, *lambda, start, end,
 		sim.Time(*maxMs)*sim.Millisecond, *seed)
-	res := exp.Run(net)
+
+	var res workload.Result
+	switch {
+	case *resume != "":
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+			os.Exit(1)
+		}
+		var cp netsim.Checkpoint
+		if err := json.Unmarshal(data, &cp); err != nil {
+			fmt.Fprintf(os.Stderr, "resume: parse %s: %v\n", *resume, err)
+			os.Exit(1)
+		}
+		r, err := workload.ResumeRunner(exp, net, &cp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+			os.Exit(1)
+		}
+		r.RunToCompletion()
+		res = r.Result()
+	case *haltAtMs > 0:
+		if *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "-halt-at needs -checkpoint FILE")
+			os.Exit(1)
+		}
+		r := workload.NewRunner(exp, net)
+		r.Step(sim.Time(*haltAtMs) * sim.Millisecond)
+		cp, err := r.Checkpoint()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.Marshal(cp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*checkpoint, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint: %s at %d ms simulated (%d bytes)\n",
+			*checkpoint, *haltAtMs, len(data))
+		return
+	default:
+		res = exp.Run(net)
+	}
 
 	fmt.Printf("topology:   %s (%d switches, %d servers)\n", t.Name, t.NumSwitches(), t.TotalServers())
 	fmt.Printf("routing:    %s   pairs: %s   sizes: %s\n", routing, pairs.Name(), sizes.Name())

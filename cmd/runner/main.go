@@ -101,15 +101,19 @@ func config(full bool, seed int64) experiments.Config {
 }
 
 // registry is the figure/table registry plus the cross-model validation
-// sweep and the what-if scenario sweeps, so `runner run` executes and
-// caches all of them through the same pool. cache (may be nil) feeds the
-// what-if jobs' per-scenario entries, making interrupted sweeps resumable.
+// sweep, the what-if scenario sweeps and the scale-tier simulation, so
+// `runner run` executes and caches all of them through the same pool. cache
+// (may be nil) feeds the what-if jobs' per-scenario entries and the scale
+// job's mid-simulation stage checkpoints, making interrupted runs resumable.
 func registry(cfg experiments.Config, full bool, cache *harness.Cache) *harness.Registry {
 	reg := cfg.Registry()
 	for _, j := range validate.Jobs(cfg.Seed, full) {
 		reg.MustRegister(j)
 	}
 	for _, j := range cfg.WhatifJobs(cache) {
+		reg.MustRegister(j)
+	}
+	for _, j := range cfg.SimScaleJobs(cache) {
 		reg.MustRegister(j)
 	}
 	return reg

@@ -1,0 +1,141 @@
+// Command simscale drives the flow-level simulator at scale: a Poisson-ish
+// workload over a fat-tree, sharded event loops, slab-recycled flows and
+// streaming statistics. Its stdout is deterministic for a given
+// (topology, flows, seed) triple — byte-identical across any -shards value
+// and across a checkpoint/resume split — which `make sim-scale-smoke`
+// exploits as an end-to-end determinism gate.
+//
+// Checkpointing:
+//
+//	simscale -flows 200000 -halt-after 100000 -checkpoint cp.json
+//	simscale -resume cp.json
+//
+// The second invocation's output is byte-identical to an uninterrupted run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"beyondft/internal/flowsim"
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+)
+
+// driverState is the arrival generator's position, carried inside the
+// flowsim checkpoint's Driver blob.
+type driverState struct {
+	RNG      sim.RNG  `json:"rng"`
+	Injected int      `json:"injected"`
+	At       sim.Time `json:"at"`
+	Flows    int      `json:"flows"`
+	GapNs    float64  `json:"gap_ns"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "simscale: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	k := flag.Int("k", 8, "fat-tree parameter (k^3/4 servers)")
+	flows := flag.Int("flows", 100_000, "total flows to inject")
+	shards := flag.Int("shards", 1, "event-loop shards (results are shard-count-invariant)")
+	seed := flag.Int64("seed", 1, "simulation seed (workload derives from it too)")
+	gapUs := flag.Float64("gap-us", 2, "mean inter-arrival gap in microseconds")
+	haltAfter := flag.Int("halt-after", 0, "checkpoint and exit after this many injected flows (0 = run to completion)")
+	cpOut := flag.String("checkpoint", "", "file to write the -halt-after checkpoint to")
+	resume := flag.String("resume", "", "resume from a checkpoint file instead of starting fresh")
+	flag.Parse()
+
+	var n *flowsim.Network
+	var st driverState
+
+	if *resume != "" {
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			fail("%v", err)
+		}
+		var cp flowsim.Checkpoint
+		if err := json.Unmarshal(data, &cp); err != nil {
+			fail("parse checkpoint: %v", err)
+		}
+		if err := json.Unmarshal(cp.Driver, &st); err != nil {
+			fail("checkpoint has no simscale driver state: %v", err)
+		}
+		cfg := cp.Cfg
+		cfg.Shards = *shards
+		topo := topology.NewFatTree(*k)
+		n = flowsim.NewNetwork(&topo.Topology, cfg)
+		if err := n.Restore(&cp); err != nil {
+			fail("restore: %v", err)
+		}
+	} else {
+		cfg := flowsim.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Shards = *shards
+		cfg.DiscardCompleted = true
+		topo := topology.NewFatTree(*k)
+		n = flowsim.NewNetwork(&topo.Topology, cfg)
+		st = driverState{
+			RNG:   *sim.NewRNG(*seed + 0x5ca1e),
+			Flows: *flows,
+			GapNs: *gapUs * 1000,
+		}
+	}
+	defer n.Close()
+
+	total := topology.NewFatTree(*k).TotalServers()
+	rng := st.RNG
+	for st.Injected < st.Flows {
+		if *haltAfter > 0 && *resume == "" && st.Injected == *haltAfter {
+			st.RNG = rng
+			blob, err := json.Marshal(st)
+			if err != nil {
+				fail("driver state: %v", err)
+			}
+			cp, err := n.Checkpoint(blob)
+			if err != nil {
+				fail("checkpoint: %v", err)
+			}
+			data, err := json.Marshal(cp)
+			if err != nil {
+				fail("marshal checkpoint: %v", err)
+			}
+			if *cpOut == "" {
+				fail("-halt-after needs -checkpoint FILE")
+			}
+			if err := os.WriteFile(*cpOut, data, 0o644); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("checkpoint: %d/%d flows injected\n", st.Injected, st.Flows)
+			return
+		}
+		st.At += sim.Time(rng.ExpFloat64()*st.GapNs) + 1
+		src := rng.Intn(total)
+		dst := rng.Intn(total)
+		if dst == src {
+			dst = (dst + 1) % total
+		}
+		n.ScheduleFlow(st.At, src, dst, int64(1_000+rng.Intn(100_000)))
+		n.Run(st.At)
+		st.Injected++
+	}
+	n.Run(st.At + 60*sim.Second)
+
+	if n.Completed() != n.Started() {
+		fail("only %d of %d flows completed at horizon", n.Completed(), n.Started())
+	}
+	sk := n.FCTSketch()
+	qs := sk.Quantiles([]float64{0.5, 0.9, 0.99})
+	fmt.Printf("flows: started=%d completed=%d\n", n.Started(), n.Completed())
+	fmt.Printf("slab: high-water=%d\n", n.SlabHighWater())
+	fmt.Printf("fct-ns: count=%d p50=%.0f p90=%.0f p99=%.0f\n", sk.Count(), qs[0], qs[1], qs[2])
+	sketchJSON, err := json.Marshal(sk)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("sketch: %s\n", sketchJSON)
+}

@@ -24,7 +24,12 @@ import (
 // instant-queue semantics (first mark at occupancy K, one packet earlier
 // than before) and flowsim's event loop rounds departures up instead of
 // truncating — both shift every packet- and flow-level figure.
-const CodeSalt = harness.Version + "+experiments-v3"
+//
+// v4: million-flow scale tier (PR 7). Experiments draw workload randomness
+// from sim.RNG instead of math/rand (different stream at the same seed) and
+// P99ShortFCTMs is now a streamed sketch estimate, shifting every
+// packet-level figure.
+const CodeSalt = harness.Version + "+experiments-v4"
 
 // JobResult is the cacheable output of one experiment job: the figures the
 // driver produced. It round-trips through JSON losslessly (floats use the

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"beyondft/internal/harness"
+	"beyondft/internal/netsim"
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+	"beyondft/internal/workload"
+)
+
+// simScaleSpecVersion versions the scale-simulation jobs for the result
+// cache — bump it when the workload, topology, staging or figure shape
+// change.
+const simScaleSpecVersion = "simscale-jobs-v1"
+
+// simScaleStage is the staging interval: the runner checkpoints into the
+// harness cache every simulated 10 ms, aligned to absolute multiples, so an
+// interrupted run resumes from the newest cached stage instead of sim-time
+// zero. 10 ms matches Runner.RunToCompletion's chunking, which is what makes
+// a resumed run bit-identical to a cold one.
+const simScaleStage = 10 * sim.Millisecond
+
+// simScaleExperiment builds the scale-tier packet simulation as a pure
+// function of Config: a skewed workload on a fat-tree in DiscardCompleted
+// mode, so memory stays flat no matter how many flows the window injects.
+func (c Config) simScaleExperiment() (*workload.Experiment, netsim.Config, *topology.Topology) {
+	k := 4
+	lambda := 5_000.0
+	if c.Full {
+		k = 8
+		lambda = 50_000.0
+	}
+	topo := &topology.NewFatTree(k).Topology
+	cfg := netsim.DefaultConfig()
+	cfg.Routing = netsim.HYB
+	cfg.Seed = c.Seed
+	cfg.DiscardCompleted = true
+	sizes := workload.NewDiscreteCDF("tiny-mix",
+		[]int64{2_000, 30_000, 200_000}, []float64{0.5, 0.8, 1.0})
+	e := workload.DefaultExperiment(
+		workload.NewA2A(topo, topo.ToRs()),
+		sizes,
+		lambda,
+		c.MeasureStart, c.MeasureEnd, c.MaxSimTime, c.Seed,
+	)
+	return e, cfg, topo
+}
+
+// simScaleResult is the cacheable output: the paper's summary metrics plus
+// the streamed short-flow FCT quantile curve.
+type simScaleResult struct {
+	Result    workload.Result `json:"result"`
+	Quantiles []float64       `json:"quantiles"`
+	ShortMs   []float64       `json:"short_ms"`
+}
+
+// simScaleFigure renders the result as one quantile-curve figure.
+func simScaleFigure(name string, r *simScaleResult) *Figure {
+	f := &Figure{
+		ID:     name,
+		Title:  "Scale tier: streamed short-flow FCT quantiles (DiscardCompleted netsim)",
+		XLabel: "quantile",
+		YLabel: "short_fct_ms",
+		Series: []Series{{Label: "short_fct_ms", X: r.Quantiles, Y: r.ShortMs}},
+		Notes: []string{
+			fmt.Sprintf("measured=%d completed=%d overloaded=%v",
+				r.Result.MeasuredFlows, r.Result.CompletedFlows, r.Result.Overloaded),
+			fmt.Sprintf("avg_fct_ms=%g p99_short_fct_ms=%g avg_long_tput_gbps=%g",
+				r.Result.AvgFCTMs, r.Result.P99ShortFCTMs, r.Result.AvgLongTputGbps),
+		},
+	}
+	return f
+}
+
+// simScaleRun executes the scale experiment, staging checkpoints through the
+// content-addressed cache. Before simulating it probes the cache for the
+// newest stage checkpoint and resumes from it; after each completed stage it
+// stores the runner checkpoint under a per-stage content address. Stage
+// entries only ever accelerate a rerun — the figures they lead to are
+// byte-identical to a cold run's (TestSimScaleResumeBitIdentical), so a
+// pruned or cold cache degrades to recomputation, never a different answer.
+func (c Config) simScaleRun(ctx context.Context, name string, spec string, cache *harness.Cache) (*simScaleResult, error) {
+	e, cfg, topo := c.simScaleExperiment()
+
+	stageKey := func(t sim.Time) string {
+		return harness.Key(fmt.Sprintf("%s/stage-%d", name, t), spec, CodeSalt)
+	}
+	lastStage := (e.MaxSimTime / simScaleStage) * simScaleStage
+
+	var r *workload.Runner
+	if cache != nil {
+		for t := lastStage; t > 0 && r == nil; t -= simScaleStage {
+			blob, ok, err := cache.Get(stageKey(t))
+			if err != nil || !ok {
+				continue // treat a read error like a miss: recompute
+			}
+			var cp netsim.Checkpoint
+			if json.Unmarshal(blob, &cp) != nil {
+				continue
+			}
+			rr, err := workload.ResumeRunner(e, netsim.NewNetwork(topo, cfg), &cp)
+			if err != nil {
+				continue // stale/corrupt stage entry: keep probing older ones
+			}
+			r = rr
+		}
+	}
+	if r == nil {
+		r = workload.NewRunner(e, netsim.NewNetwork(topo, cfg))
+	}
+
+	for r.Net.Eng.Now() < e.MaxSimTime && !r.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		next := (r.Net.Eng.Now()/simScaleStage + 1) * simScaleStage
+		r.Step(next)
+		if r.Drained() {
+			break
+		}
+		if cache != nil && !r.Done() {
+			cp, err := r.Checkpoint()
+			if err != nil {
+				return nil, fmt.Errorf("stage checkpoint at %v: %w", r.Net.Eng.Now(), err)
+			}
+			blob, err := json.Marshal(cp)
+			if err != nil {
+				return nil, err
+			}
+			if err := cache.Put(stageKey(r.Net.Eng.Now()), harness.Entry{
+				Job:       fmt.Sprintf("%s/stage-%d", name, r.Net.Eng.Now()),
+				Spec:      spec,
+				Salt:      CodeSalt,
+				CreatedAt: time.Now().UTC(),
+				Result:    blob,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	qs := []float64{0.5, 0.9, 0.95, 0.99}
+	return &simScaleResult{
+		Result:    r.Result(),
+		Quantiles: qs,
+		ShortMs:   r.ShortFCTSketch().Quantiles(qs),
+	}, nil
+}
+
+// SimScaleJobs exposes the scale-tier simulation to the experiment harness:
+// one job, cached at two granularities. The harness caches the final figures
+// under the (Config, version) spec; independently, every 10 ms stage
+// checkpoint is content-addressed in the same cache, so an interrupted run
+// resumes mid-simulation — the packet-sim analogue of the what-if sweeps'
+// per-scenario resumability.
+func (c Config) SimScaleJobs(cache *harness.Cache) []harness.Job {
+	const name = "simscale-netsim"
+	spec := fmt.Sprintf("%s|%s", simScaleSpecVersion, c.Spec())
+	return []harness.Job{{
+		Name: name,
+		Spec: spec,
+		Run: func(ctx context.Context) (any, error) {
+			res, err := c.simScaleRun(ctx, name, spec, cache)
+			if err != nil {
+				return nil, err
+			}
+			return &JobResult{Figures: []*Figure{simScaleFigure(name, res)}}, nil
+		},
+		Decode:    decodeJobResult,
+		Artifacts: writeFigureCSVs,
+	}}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"beyondft/internal/harness"
+	"beyondft/internal/sim"
+)
+
+// simScaleTestConfig is a tiny window so the test finishes in seconds while
+// still crossing at least one 10 ms stage boundary (so the resume path is
+// actually exercised).
+func simScaleTestConfig() Config {
+	return Config{
+		Seed:         1,
+		Epsilon:      0.09,
+		MeasureStart: 5 * sim.Millisecond,
+		MeasureEnd:   15 * sim.Millisecond,
+		MaxSimTime:   200 * sim.Millisecond,
+	}
+}
+
+func runSimScaleJob(t *testing.T, c Config, cache *harness.Cache) []byte {
+	t.Helper()
+	job := c.SimScaleJobs(cache)[0]
+	res, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatalf("simscale job: %v", err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return blob
+}
+
+// TestSimScaleResumeBitIdentical: the scale job must produce byte-identical
+// figures whether it runs cold, cold-while-writing-stage-checkpoints, or
+// resumed from a cached stage checkpoint.
+func TestSimScaleResumeBitIdentical(t *testing.T) {
+	c := simScaleTestConfig()
+	cold := runSimScaleJob(t, c, nil)
+
+	cache, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withStages := runSimScaleJob(t, c, cache)
+	if string(withStages) != string(cold) {
+		t.Fatalf("writing stage checkpoints changed the result:\ncold %s\ngot  %s", cold, withStages)
+	}
+	n, _, err := cache.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatalf("no stage checkpoints were cached")
+	}
+
+	resumed := runSimScaleJob(t, c, cache)
+	if string(resumed) != string(cold) {
+		t.Fatalf("stage-resumed run diverged:\ncold %s\ngot  %s", cold, resumed)
+	}
+}
+
+// TestSimScaleSpecChangesWithConfig: different seeds must produce different
+// job specs, so the cache cannot alias them.
+func TestSimScaleSpecChangesWithConfig(t *testing.T) {
+	a := simScaleTestConfig()
+	b := a
+	b.Seed = 2
+	if a.SimScaleJobs(nil)[0].Spec == b.SimScaleJobs(nil)[0].Spec {
+		t.Fatalf("spec does not depend on seed")
+	}
+}

@@ -10,16 +10,32 @@
 // Routing mirrors netsim's schemes at flow granularity: ECMP pins a flow to
 // one sampled shortest path, VLB routes through a random intermediate, and
 // HYB sends flows below the Q threshold via ECMP and the rest via VLB.
+//
+// The simulator is built to reach 10M flows in memory proportional to peak
+// concurrency, not flow count (DESIGN.md §13):
+//
+//   - flows live in an index-addressed slab and, with DiscardCompleted set,
+//     recycle their slots (and path buffers) on completion;
+//   - FCT statistics stream into a mergeable quantile sketch and a moments
+//     accumulator instead of retaining per-flow records;
+//   - the per-event sweeps (departure scan, progress integration, max-min
+//     refill) run over Config.Shards data-parallel shards with barrier
+//     synchronization, and every reduction is order-independent — integer
+//     mins and counts, or one FP operation per entity in a fixed order — so
+//     a run is bit-identical at any shard count, which the regression suite
+//     enforces for {1, 2, 8}.
 package flowsim
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 	"time"
 
+	"beyondft/internal/obs"
 	"beyondft/internal/sim"
+	"beyondft/internal/slab"
+	"beyondft/internal/stats"
 	"beyondft/internal/topology"
 )
 
@@ -40,6 +56,19 @@ type Config struct {
 	Routing              RoutingScheme
 	HybridThresholdBytes int64
 	Seed                 int64
+
+	// Shards splits the per-event sweeps across worker goroutines; 0 or 1
+	// runs serially. Results are bit-identical at any shard count.
+	Shards int
+
+	// DiscardCompleted frees a flow's slab slot at completion, after the
+	// OnComplete callback: memory then tracks peak concurrency instead of
+	// total flow count, and Flows() omits completed flows.
+	DiscardCompleted bool
+
+	// SketchAlpha is the FCT sketch's relative accuracy (0 = the
+	// stats.DefaultSketchAlpha 1%).
+	SketchAlpha float64
 }
 
 // DefaultConfig mirrors netsim's §6.4 defaults at flow level.
@@ -52,9 +81,12 @@ func DefaultConfig() Config {
 	}
 }
 
-// Flow is one transfer.
+// Flow is one transfer. Flows are slab-allocated; pointers handed out by
+// Flows() and OnComplete are stable, but with DiscardCompleted set a
+// completed flow's slot (and its struct) is recycled once OnComplete
+// returns — callers must copy what they need.
 type Flow struct {
-	ID        int32
+	ID        int32 // start order, dense from 0
 	SrcServer int32
 	DstServer int32
 	SizeBytes int64
@@ -64,11 +96,36 @@ type Flow struct {
 
 	remaining float64 // bytes
 	rate      float64 // bits/ns (Gbps)
-	links     []int32
+	links     []int32 // path link ids; buffer reused across slot recycling
 }
 
 // FCT returns the completion time; valid when Done.
 func (f *Flow) FCT() sim.Time { return f.EndNs - f.StartNs }
+
+// Rate returns the flow's current max-min allocation in Gbps; 0 when the
+// flow is done or not yet allocated.
+func (f *Flow) Rate() float64 {
+	if f.Done || f.rate < 0 {
+		return 0
+	}
+	return f.rate
+}
+
+// shard owns the flows with ID % Shards == its index. Its active list stays
+// in ascending flow-ID order by construction: IDs are assigned in start
+// order, so appends keep it sorted, and completions compact in place.
+type shard struct {
+	active    []int32 // live slab slots, ascending flow ID
+	completed []int32 // slots that finished at the current instant
+
+	// Per-phase reduction outputs (read by the coordinator after a barrier).
+	minDep    sim.Time
+	bestShare float64
+	bestLink  int32
+	frozen    int
+	linkLo    int32 // owned link range [linkLo, linkHi) for link phases
+	linkHi    int32
+}
 
 // Network is the flow-level simulation state.
 type Network struct {
@@ -76,27 +133,55 @@ type Network struct {
 	Topo *topology.Topology
 
 	now       sim.Time
-	rng       *rand.Rand
+	rng       *sim.RNG
 	serverTor []int32
 
 	// Directed links: 0..2E-1 inter-switch (pairs), then per-server up and
 	// down links. capacity in Gbps (== bits/ns).
 	capacity []float64
-	linkIdx  map[[2]int32]int32 // (u,v) switch pair -> link id
 	upLink   []int32
 	downLink []int32
 
-	// nextHops[u][dst] lists shortest-path next hops.
-	nextHops [][][]int32
+	// CSR shortest-path next hops: for (u -> dst) the candidate next-hop
+	// switches are nhTo[nhStart[dst*S+u] : nhStart[dst*S+u+1]], and nhLink
+	// carries the corresponding u->v link ids, eliminating map lookups on
+	// the path-sampling hot path.
+	nhStart []int32
+	nhTo    []int32
+	nhLink  []int32
 
-	flows   []*Flow
-	active  map[int32]*Flow
+	flowSlab *slab.Slab[Flow]
+	shards   []shard
+	pool     *workerPool // nil when serial
+	started  int64
+	finished int64
+
+	flows []*Flow // retain mode: every flow in start order
+
 	pending arrivalHeap
 	arrSeq  int64
 
-	// Recomputed allocation state.
-	dirty  bool
-	idsBuf []int32
+	dirty bool
+
+	// allocate() scratch, persistent so the steady state allocates nothing.
+	capScratch   []float64
+	flowCount    []int32
+	frozenCount  []int32
+	completedBuf []int32
+
+	// Phase inputs shared with shard workers (written by the coordinator
+	// between barriers only).
+	phaseDT    float64
+	phaseShare float64
+	phaseLink  int32
+
+	fctSketch  *stats.Sketch
+	fctMoments *stats.Moments
+	onComplete func(*Flow)
+
+	liveGauge     *obs.Gauge
+	slabGauge     *obs.Gauge
+	slabHighGauge *obs.Gauge
 
 	// Event-loop statistics (see Stats).
 	loopEvents    uint64
@@ -139,8 +224,8 @@ func (n *Network) Stats() LoopStats {
 type arrival struct {
 	at   sim.Time
 	seq  int64 // insertion order, for FIFO tie-breaking at equal times
-	src  int
-	dst  int
+	src  int32
+	dst  int32
 	size int64
 }
 
@@ -199,20 +284,22 @@ func (h *arrivalHeap) pop() arrival {
 // NewNetwork builds the flow-level model of a topology.
 func NewNetwork(t *topology.Topology, cfg Config) *Network {
 	n := &Network{
-		Cfg:     cfg,
-		Topo:    t,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		linkIdx: make(map[[2]int32]int32),
-		active:  make(map[int32]*Flow),
+		Cfg:        cfg,
+		Topo:       t,
+		rng:        sim.NewRNG(cfg.Seed),
+		flowSlab:   slab.New[Flow](1024),
+		fctSketch:  stats.NewSketch(cfg.SketchAlpha),
+		fctMoments: stats.NewMoments(),
 	}
 	for _, sw := range t.ServerSwitch() {
 		n.serverTor = append(n.serverTor, int32(sw))
 	}
+	linkIdx := make(map[[2]int32]int32)
 	for _, e := range t.G.Edges() {
 		c := float64(e.Mult) * cfg.LinkRateGbps
-		n.linkIdx[[2]int32{int32(e.U), int32(e.V)}] = int32(len(n.capacity))
+		linkIdx[[2]int32{int32(e.U), int32(e.V)}] = int32(len(n.capacity))
 		n.capacity = append(n.capacity, c)
-		n.linkIdx[[2]int32{int32(e.V), int32(e.U)}] = int32(len(n.capacity))
+		linkIdx[[2]int32{int32(e.V), int32(e.U)}] = int32(len(n.capacity))
 		n.capacity = append(n.capacity, c)
 	}
 	srvRate := cfg.ServerLinkRateGbps
@@ -225,47 +312,127 @@ func NewNetwork(t *topology.Topology, cfg Config) *Network {
 		n.downLink = append(n.downLink, int32(len(n.capacity)))
 		n.capacity = append(n.capacity, srvRate)
 	}
-	n.nextHops = make([][][]int32, t.NumSwitches())
-	for dst := 0; dst < t.NumSwitches(); dst++ {
+	// Flatten the shortest-path next-hop DAG into CSR arrays, grouped by
+	// destination so each destination fills contiguously in one pass.
+	S := t.NumSwitches()
+	n.nhStart = make([]int32, S*S+1)
+	for dst := 0; dst < S; dst++ {
 		hops := t.G.ShortestPathDAGNextHops(dst)
-		for u := 0; u < t.NumSwitches(); u++ {
-			if n.nextHops[u] == nil {
-				n.nextHops[u] = make([][]int32, t.NumSwitches())
-			}
+		for u := 0; u < S; u++ {
 			for _, v := range hops[u] {
-				n.nextHops[u][dst] = append(n.nextHops[u][dst], int32(v))
+				n.nhTo = append(n.nhTo, int32(v))
+				n.nhLink = append(n.nhLink, linkIdx[[2]int32{int32(u), int32(v)}])
 			}
+			n.nhStart[dst*S+u+1] = int32(len(n.nhTo))
 		}
 	}
+
+	n.capScratch = make([]float64, len(n.capacity))
+	n.flowCount = make([]int32, len(n.capacity))
+	n.frozenCount = make([]int32, len(n.capacity))
+
+	ns := cfg.Shards
+	if ns < 1 {
+		ns = 1
+	}
+	n.shards = make([]shard, ns)
+	L := int32(len(n.capacity))
+	for s := range n.shards {
+		n.shards[s].linkLo = int32(s) * L / int32(ns)
+		n.shards[s].linkHi = int32(s+1) * L / int32(ns)
+	}
+	if ns > 1 {
+		n.pool = newWorkerPool(n, ns)
+	}
 	return n
+}
+
+// Close stops the shard worker goroutines (no-op when serial). The network
+// remains usable for queries but not further Run calls with Shards > 1.
+func (n *Network) Close() {
+	if n.pool != nil {
+		n.pool.stop()
+		n.pool = nil
+	}
 }
 
 // Now returns the current simulated time.
 func (n *Network) Now() sim.Time { return n.now }
 
-// Flows returns all flows started so far.
+// Flows returns all flows started so far in start order. With
+// DiscardCompleted set, completed flows have been recycled and the slice is
+// not maintained — use OnComplete and the FCT sketch instead.
 func (n *Network) Flows() []*Flow { return n.flows }
+
+// ActiveFlows returns the number of currently active flows.
+func (n *Network) ActiveFlows() int {
+	total := 0
+	for s := range n.shards {
+		total += len(n.shards[s].active)
+	}
+	return total
+}
+
+// Started returns the number of flows started so far.
+func (n *Network) Started() int64 { return n.started }
+
+// Completed returns the number of flows finished so far.
+func (n *Network) Completed() int64 { return n.finished }
+
+// FCTSketch returns the streaming sketch of completed-flow FCTs in
+// nanoseconds. It is live: merges of or additions to the returned sketch
+// corrupt the simulation's statistics.
+func (n *Network) FCTSketch() *stats.Sketch { return n.fctSketch }
+
+// FCTMoments returns the streaming moments of completed-flow FCTs (ns).
+func (n *Network) FCTMoments() *stats.Moments { return n.fctMoments }
+
+// SetOnComplete registers a callback invoked for every completing flow, in
+// flow-ID order within each completion instant, before the slot is
+// recycled. The *Flow is valid only during the call in discard mode.
+func (n *Network) SetOnComplete(fn func(*Flow)) { n.onComplete = fn }
+
+// SetMetrics attaches observability gauges (nil-safe): live flow count,
+// slab occupancy (live slots), and slab high water, updated at every event
+// instant.
+func (n *Network) SetMetrics(live, slabOccupancy, slabHighWater *obs.Gauge) {
+	n.liveGauge = live
+	n.slabGauge = slabOccupancy
+	n.slabHighGauge = slabHighWater
+}
+
+// SlabHighWater returns the peak live-slot count — the number that bounds
+// flow memory regardless of total flows started.
+func (n *Network) SlabHighWater() int { return n.flowSlab.HighWater() }
+
+// nextHopRange returns the CSR slice bounds for switch u toward dst.
+func (n *Network) nextHopRange(u, dst int32) (int32, int32) {
+	base := int(dst)*n.Topo.NumSwitches() + int(u)
+	return n.nhStart[base], n.nhStart[base+1]
+}
 
 // samplePath walks a uniformly sampled shortest path from switch u to dst,
 // appending traversed link IDs.
 func (n *Network) samplePath(u, dst int32, links []int32) []int32 {
 	for u != dst {
-		choices := n.nextHops[u][dst]
-		if len(choices) == 0 {
+		lo, hi := n.nextHopRange(u, dst)
+		if lo == hi {
 			panic(fmt.Sprintf("flowsim: no route %d -> %d", u, dst))
 		}
-		v := choices[n.rng.Intn(len(choices))]
-		links = append(links, n.linkIdx[[2]int32{u, v}])
-		u = v
+		i := lo + int32(n.rng.Intn(int(hi-lo)))
+		links = append(links, n.nhLink[i])
+		u = n.nhTo[i]
 	}
 	return links
 }
 
-// assignPath routes a flow per the configured scheme.
+// assignPath routes a flow per the configured scheme, reusing the flow's
+// link buffer (recycled slots keep their slice capacity, so the steady
+// state allocates no path storage).
 func (n *Network) assignPath(f *Flow) {
 	src := n.serverTor[f.SrcServer]
 	dst := n.serverTor[f.DstServer]
-	links := []int32{n.upLink[f.SrcServer]}
+	links := append(f.links[:0], n.upLink[f.SrcServer])
 	useVLB := n.Cfg.Routing == VLB ||
 		(n.Cfg.Routing == HYB && f.SizeBytes >= n.Cfg.HybridThresholdBytes)
 	if useVLB && src != dst {
@@ -291,77 +458,152 @@ func (n *Network) ScheduleFlow(at sim.Time, src, dst int, size int64) {
 		at = n.now
 	}
 	n.arrSeq++
-	n.pending.push(arrival{at: at, seq: n.arrSeq, src: src, dst: dst, size: size})
+	n.pending.push(arrival{at: at, seq: n.arrSeq, src: int32(src), dst: int32(dst), size: size})
 	if len(n.pending) > n.heapHighWater {
 		n.heapHighWater = len(n.pending)
 	}
 }
 
-func (n *Network) startFlow(a arrival) *Flow {
-	f := &Flow{
-		ID:        int32(len(n.flows)),
-		SrcServer: int32(a.src),
-		DstServer: int32(a.dst),
+func (n *Network) startFlow(a arrival) {
+	slot, f := n.flowSlab.Alloc()
+	links := f.links // recycled slots donate their path buffer
+	*f = Flow{
+		ID:        int32(n.started),
+		SrcServer: a.src,
+		DstServer: a.dst,
 		SizeBytes: a.size,
 		StartNs:   n.now,
 		remaining: float64(a.size),
+		links:     links,
 	}
-	n.flows = append(n.flows, f)
+	n.started++
 	n.assignPath(f)
-	n.active[f.ID] = f
+	if !n.Cfg.DiscardCompleted {
+		n.flows = append(n.flows, f)
+	}
+	sh := &n.shards[int(f.ID)%len(n.shards)]
+	sh.active = append(sh.active, slot)
 	n.dirty = true
-	return f
 }
 
-// allocate computes exact max-min fair rates via progressive filling.
-func (n *Network) allocate() {
-	type linkState struct {
-		cap   float64
-		flows int
-	}
-	links := make([]linkState, len(n.capacity))
-	for i, c := range n.capacity {
-		links[i].cap = c // Gbps == bits/ns
-	}
-	// Iterate flows in ID order so floating-point update order (and hence
-	// the whole simulation) is deterministic.
-	ids := n.sortedActiveIDs()
-	for _, id := range ids {
-		f := n.active[id]
-		f.rate = -1
-		for _, l := range f.links {
-			links[l].flows++
+// completeEps is the residual (in bytes) below which a flow counts as
+// finished: it absorbs the floating-point slack left by integrating progress
+// to a departure instant that was rounded up to the integer-ns clock.
+const completeEps = 1e-6
+
+// Shard phase codes dispatched through the worker pool. Every phase is a
+// pure data-parallel sweep over a shard's flows or owned link range; the
+// coordinator reduces the per-shard outputs between barriers with
+// order-independent operations (integer min, integer sum, lexicographic
+// (share, link-id) min), which is what makes results shard-count-invariant.
+const (
+	phaseDepartScan = iota
+	phaseIntegrate
+	phaseCollectComplete
+	phaseAllocReset
+	phaseLinkScan
+	phaseFreeze
+	phaseCapUpdate
+)
+
+// runPhase executes one phase across all shards, inline when serial.
+func (n *Network) runPhase(p int) {
+	if n.pool == nil {
+		for s := range n.shards {
+			n.phase(p, s)
 		}
+		return
 	}
-	n.allocRounds++
-	unfrozen := len(ids)
-	for unfrozen > 0 {
-		// Find the bottleneck link: minimal fair share among links with
-		// unfrozen flows.
-		best := -1
-		bestShare := math.Inf(1)
-		for i := range links {
-			if links[i].flows == 0 {
+	n.pool.dispatch(p)
+}
+
+// phase runs one phase for one shard. Shard workers only ever touch their
+// own flows (slots in sh.active) and their owned link range, plus
+// read-only shared state and the phase inputs set by the coordinator.
+func (n *Network) phase(p, si int) {
+	sh := &n.shards[si]
+	switch p {
+	case phaseDepartScan:
+		minDep := sim.Time(math.MaxInt64)
+		for _, slot := range sh.active {
+			f := n.flowSlab.At(slot)
+			if f.rate <= 0 {
 				continue
 			}
-			share := links[i].cap / float64(links[i].flows)
-			if share < bestShare {
-				bestShare = share
-				best = i
+			// remaining bytes at rate bits/ns -> ns, rounded up to the clock.
+			dt := sim.Time(math.Ceil(f.remaining * 8 / f.rate))
+			if dt < 1 {
+				dt = 1
+			}
+			if t := n.now + dt; t < minDep {
+				minDep = t
 			}
 		}
-		if best < 0 {
-			break
+		sh.minDep = minDep
+	case phaseIntegrate:
+		dt := n.phaseDT
+		for _, slot := range sh.active {
+			f := n.flowSlab.At(slot)
+			if f.rate > 0 {
+				f.remaining -= f.rate * dt / 8
+			}
 		}
-		// Freeze every unfrozen flow crossing the bottleneck.
-		for _, id := range ids {
-			f := n.active[id]
+	case phaseCollectComplete:
+		sh.completed = sh.completed[:0]
+		kept := sh.active[:0]
+		for _, slot := range sh.active {
+			if n.flowSlab.At(slot).remaining <= completeEps {
+				sh.completed = append(sh.completed, slot)
+			} else {
+				kept = append(kept, slot)
+			}
+		}
+		sh.active = kept
+	case phaseAllocReset:
+		if n.pool == nil {
+			for _, slot := range sh.active {
+				f := n.flowSlab.At(slot)
+				f.rate = -1
+				for _, l := range f.links {
+					n.flowCount[l]++
+				}
+			}
+			return
+		}
+		for _, slot := range sh.active {
+			f := n.flowSlab.At(slot)
+			f.rate = -1
+			for _, l := range f.links {
+				atomicAddInt32(&n.flowCount[l], 1)
+			}
+		}
+	case phaseLinkScan:
+		best := int32(-1)
+		bestShare := math.Inf(1)
+		for l := sh.linkLo; l < sh.linkHi; l++ {
+			c := n.flowCount[l]
+			if c == 0 {
+				continue
+			}
+			share := n.capScratch[l] / float64(c)
+			if share < bestShare {
+				bestShare = share
+				best = l
+			}
+		}
+		sh.bestShare, sh.bestLink = bestShare, best
+	case phaseFreeze:
+		frozen := 0
+		best := n.phaseLink
+		share := n.phaseShare
+		for _, slot := range sh.active {
+			f := n.flowSlab.At(slot)
 			if f.rate >= 0 {
 				continue
 			}
 			crosses := false
 			for _, l := range f.links {
-				if int(l) == best {
+				if l == best {
 					crosses = true
 					break
 				}
@@ -369,24 +611,72 @@ func (n *Network) allocate() {
 			if !crosses {
 				continue
 			}
-			f.rate = bestShare
-			unfrozen--
-			for _, l := range f.links {
-				links[l].cap -= bestShare
-				links[l].flows--
-				if links[l].cap < 0 {
-					links[l].cap = 0
+			f.rate = share
+			frozen++
+			if n.pool == nil {
+				for _, l := range f.links {
+					n.frozenCount[l]++
+				}
+			} else {
+				for _, l := range f.links {
+					atomicAddInt32(&n.frozenCount[l], 1)
 				}
 			}
 		}
+		sh.frozen = frozen
+	case phaseCapUpdate:
+		share := n.phaseShare
+		for l := sh.linkLo; l < sh.linkHi; l++ {
+			if fc := n.frozenCount[l]; fc != 0 {
+				// One multiply per link instead of one subtraction per frozen
+				// flow: the result is independent of which shard froze which
+				// flow, the keystone of shard-count invariance.
+				n.capScratch[l] -= share * float64(fc)
+				if n.capScratch[l] < 0 {
+					n.capScratch[l] = 0
+				}
+				n.flowCount[l] -= fc
+				n.frozenCount[l] = 0
+			}
+		}
+	}
+}
+
+// allocate computes exact max-min fair rates via progressive filling.
+// Bottleneck links freeze in (share, link-id) lexicographic order; frozen
+// capacity leaves a link as a single share×count multiply. Both rules are
+// independent of flow iteration order, so any shard count produces
+// bit-identical rates.
+func (n *Network) allocate() {
+	copy(n.capScratch, n.capacity)
+	n.runPhase(phaseAllocReset)
+	unfrozen := n.ActiveFlows()
+	n.allocRounds++
+	for unfrozen > 0 {
+		n.runPhase(phaseLinkScan)
+		best := int32(-1)
+		bestShare := math.Inf(1)
+		for s := range n.shards {
+			sh := &n.shards[s]
+			if sh.bestLink < 0 {
+				continue
+			}
+			if sh.bestShare < bestShare || (sh.bestShare == bestShare && sh.bestLink < best) {
+				bestShare, best = sh.bestShare, sh.bestLink
+			}
+		}
+		if best < 0 {
+			break
+		}
+		n.phaseShare, n.phaseLink = bestShare, best
+		n.runPhase(phaseFreeze)
+		for s := range n.shards {
+			unfrozen -= n.shards[s].frozen
+		}
+		n.runPhase(phaseCapUpdate)
 	}
 	n.dirty = false
 }
-
-// completeEps is the residual (in bytes) below which a flow counts as
-// finished: it absorbs the floating-point slack left by integrating progress
-// to a departure instant that was rounded up to the integer-ns clock.
-const completeEps = 1e-6
 
 // Run advances the simulation to the given horizon.
 //
@@ -403,21 +693,12 @@ func (n *Network) Run(until sim.Time) {
 		if n.dirty {
 			n.allocate()
 		}
-		ids := n.sortedActiveIDs()
-		// Earliest departure instant (ID order breaks exact ties).
+		// Earliest departure instant across shards (integer min).
+		n.runPhase(phaseDepartScan)
 		nextEvent := until
 		eventDue := false
-		for _, id := range ids {
-			f := n.active[id]
-			if f.rate <= 0 {
-				continue
-			}
-			// remaining bytes at rate bits/ns -> ns, rounded up to the clock.
-			dt := sim.Time(math.Ceil(f.remaining * 8 / f.rate))
-			if dt < 1 {
-				dt = 1
-			}
-			if t := n.now + dt; t <= nextEvent {
+		for s := range n.shards {
+			if t := n.shards[s].minDep; t <= nextEvent {
 				if t < nextEvent {
 					nextEvent = t
 				}
@@ -429,14 +710,10 @@ func (n *Network) Run(until sim.Time) {
 			nextEvent = n.pending[0].at
 			eventDue = true
 		}
-		// Integrate progress over [now, nextEvent) in ID order.
+		// Integrate progress over [now, nextEvent); per-flow, order-free.
 		if dt := float64(nextEvent - n.now); dt > 0 {
-			for _, id := range ids {
-				f := n.active[id]
-				if f.rate > 0 {
-					f.remaining -= f.rate * dt / 8
-				}
-			}
+			n.phaseDT = dt
+			n.runPhase(phaseIntegrate)
 		}
 		n.now = nextEvent
 		if !eventDue {
@@ -444,33 +721,45 @@ func (n *Network) Run(until sim.Time) {
 		}
 		n.loopEvents++
 		// Complete every flow that has finished by this instant, in ID order.
-		for _, id := range ids {
-			f := n.active[id]
-			if f.remaining <= completeEps {
+		n.runPhase(phaseCollectComplete)
+		n.completedBuf = n.completedBuf[:0]
+		for s := range n.shards {
+			n.completedBuf = append(n.completedBuf, n.shards[s].completed...)
+		}
+		if len(n.completedBuf) > 0 {
+			if len(n.shards) > 1 {
+				sort.Slice(n.completedBuf, func(i, j int) bool {
+					return n.flowSlab.At(n.completedBuf[i]).ID < n.flowSlab.At(n.completedBuf[j]).ID
+				})
+			}
+			for _, slot := range n.completedBuf {
+				f := n.flowSlab.At(slot)
 				f.remaining = 0
 				f.Done = true
 				f.EndNs = n.now
-				delete(n.active, f.ID)
-				n.dirty = true
+				n.finished++
+				fct := float64(f.FCT())
+				n.fctSketch.Add(fct)
+				n.fctMoments.Add(fct)
+				if n.onComplete != nil {
+					n.onComplete(f)
+				}
+				if n.Cfg.DiscardCompleted {
+					n.flowSlab.Free(slot)
+				}
 			}
+			n.dirty = true
 		}
-		// Start every arrival due at this instant.
+		// Start every arrival due at this instant, in (at, seq) order — the
+		// coordinator draws all path RNG, so the draw sequence matches the
+		// serial simulator exactly.
 		for len(n.pending) > 0 && n.pending[0].at <= n.now {
 			n.startFlow(n.pending.pop())
 		}
+		n.liveGauge.Set(int64(n.ActiveFlows()))
+		n.slabGauge.Set(int64(n.flowSlab.InUse()))
+		n.slabHighGauge.Set(int64(n.flowSlab.HighWater()))
 	}
-}
-
-// ActiveFlows returns the number of currently active flows.
-func (n *Network) ActiveFlows() int { return len(n.active) }
-
-// Rate returns the flow's current max-min allocation in Gbps; 0 when the
-// flow is done or not yet allocated.
-func (f *Flow) Rate() float64 {
-	if f.Done || f.rate < 0 {
-		return 0
-	}
-	return f.rate
 }
 
 // AuditAllocation verifies the max-min fair allocation invariants at the
@@ -490,22 +779,27 @@ func (n *Network) AuditAllocation() error {
 	}
 	const relEps = 1e-6
 	load := make([]float64, len(n.capacity))
-	for _, id := range n.sortedActiveIDs() {
-		f := n.active[id]
-		if f.rate <= 0 {
-			return fmt.Errorf("flowsim: active flow %d has rate %g (work conservation violated)", f.ID, f.rate)
+	var audit error
+	n.eachActive(func(f *Flow) {
+		if f.rate <= 0 && audit == nil {
+			audit = fmt.Errorf("flowsim: active flow %d has rate %g (work conservation violated)", f.ID, f.rate)
 		}
 		for _, l := range f.links {
 			load[l] += f.rate
 		}
+	})
+	if audit != nil {
+		return audit
 	}
 	for l, ld := range load {
 		if c := n.capacity[l]; ld > c*(1+relEps)+relEps {
 			return fmt.Errorf("flowsim: link %d carries %g Gbps over capacity %g", l, ld, c)
 		}
 	}
-	for _, id := range n.sortedActiveIDs() {
-		f := n.active[id]
+	n.eachActive(func(f *Flow) {
+		if audit != nil {
+			return
+		}
 		bottlenecked := false
 		for _, l := range f.links {
 			if load[l] >= n.capacity[l]*(1-relEps)-relEps {
@@ -514,21 +808,17 @@ func (n *Network) AuditAllocation() error {
 			}
 		}
 		if !bottlenecked {
-			return fmt.Errorf("flowsim: flow %d crosses no saturated link (rate %g not max-min)", f.ID, f.rate)
+			audit = fmt.Errorf("flowsim: flow %d crosses no saturated link (rate %g not max-min)", f.ID, f.rate)
 		}
-	}
-	return nil
+	})
+	return audit
 }
 
-// sortedActiveIDs returns the active flow IDs in ascending order. The
-// returned slice aliases a per-network scratch buffer; it is valid until the
-// next call (the simulation is single-threaded and callers never overlap).
-func (n *Network) sortedActiveIDs() []int32 {
-	ids := n.idsBuf[:0]
-	for id := range n.active {
-		ids = append(ids, id)
+// eachActive visits every active flow (any order; used for audits only).
+func (n *Network) eachActive(fn func(*Flow)) {
+	for s := range n.shards {
+		for _, slot := range n.shards[s].active {
+			fn(n.flowSlab.At(slot))
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	n.idsBuf = ids
-	return ids
 }

@@ -127,7 +127,7 @@ func TestHYBThresholdSplitsBySize(t *testing.T) {
 	topo := &topology.Topology{Name: "ring4", G: g, Servers: []int{1, 1, 1, 1}, SwitchPorts: 3}
 	cfg := DefaultConfig()
 	cfg.Routing = HYB
-	cfg.Seed = 7
+	cfg.Seed = 8
 	n := NewNetwork(topo, cfg)
 	n.ScheduleFlow(0, 0, 1, 50_000)    // short: ECMP (3 links on adjacent racks)
 	n.ScheduleFlow(0, 0, 1, 5_000_000) // long: VLB
@@ -137,7 +137,7 @@ func TestHYBThresholdSplitsBySize(t *testing.T) {
 		t.Fatalf("short flow should take the direct path, got %d links", len(short.links))
 	}
 	// The long flow bounces off a via unless the random via equals the
-	// destination; with seed 7 it detours.
+	// destination; with seed 8 it detours.
 	if len(long.links) <= 3 {
 		t.Fatalf("long flow should take a VLB detour, got %d links", len(long.links))
 	}

@@ -1,0 +1,51 @@
+package flowsim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// atomicAddInt32 increments a shared integer tally from shard workers.
+// Integer addition commutes, so the total is identical regardless of which
+// worker lands first — atomics here cost determinism nothing.
+func atomicAddInt32(p *int32, d int32) { atomic.AddInt32(p, d) }
+
+// workerPool runs the shard phases on persistent goroutines with a barrier
+// per phase. Workers are long-lived because the event loop dispatches
+// phases millions of times per run; spawning per phase would dominate.
+type workerPool struct {
+	work []chan int
+	wg   sync.WaitGroup
+}
+
+func newWorkerPool(n *Network, shards int) *workerPool {
+	p := &workerPool{}
+	for s := 0; s < shards; s++ {
+		ch := make(chan int, 1)
+		p.work = append(p.work, ch)
+		go func(si int, ch chan int) {
+			for ph := range ch {
+				n.phase(ph, si)
+				p.wg.Done()
+			}
+		}(s, ch)
+	}
+	return p
+}
+
+// dispatch runs one phase on every shard and waits for all to finish.
+func (p *workerPool) dispatch(ph int) {
+	p.wg.Add(len(p.work))
+	for _, ch := range p.work {
+		ch <- ph
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the workers; outstanding phases have already drained
+// (dispatch is synchronous).
+func (p *workerPool) stop() {
+	for _, ch := range p.work {
+		close(ch)
+	}
+}

@@ -96,6 +96,15 @@ type Config struct {
 	Routing RoutingScheme
 	// Seed drives all randomized choices (path hashing, VLB picks).
 	Seed int64
+	// DiscardCompleted recycles a flow's connection state (transport,
+	// receiver, slab slot) once it completes and its last packet has left
+	// the network. Completed flows then exist only in the streaming FCT
+	// sketch/moments — Flows() stays empty — so memory is bounded by peak
+	// concurrency, not total flow count. Required for Checkpoint.
+	DiscardCompleted bool
+	// SketchAlpha is the relative accuracy of the streaming FCT sketch
+	// (0 = stats.DefaultSketchAlpha).
+	SketchAlpha float64
 }
 
 // DefaultConfig returns the §6.4 parameters.

@@ -50,19 +50,23 @@ func TestPropertyAllFlowsCompleteAllSchemes(t *testing.T) {
 			}
 		}
 		// Receivers drained everything in order.
-		for i, r := range n.recvs {
-			if r == nil {
-				continue // MPTCP parent
+		ok := true
+		n.conns.Range(func(slot int32, c *conn) bool {
+			if c.isParent {
+				return true // MPTCP parent owns no transport
 			}
-			if int32(r.rcvNxt) < n.flows[i].SizePkts {
-				t.Logf("seed %d: receiver %d saw %d of %d packets", seed, i, r.rcvNxt, n.flows[i].SizePkts)
+			if c.rcv.rcvNxt < c.flow.SizePkts {
+				t.Logf("seed %d: receiver %d saw %d of %d packets", seed, slot, c.rcv.rcvNxt, c.flow.SizePkts)
+				ok = false
 				return false
 			}
-			if len(r.ooo) != 0 {
+			if len(c.rcv.ooo) != 0 {
+				ok = false
 				return false
 			}
-		}
-		return true
+			return true
+		})
+		return ok
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
@@ -81,12 +85,12 @@ func TestPropertyLinkAccounting(t *testing.T) {
 		n := NewNetwork(topo, cfg)
 		n.StartFlow(0, 4, 300_000) // rack 0 -> rack 2
 		n.Eng.Run(20 * sim.Second)
-		if !n.flows[0].Done {
+		if !n.Flows()[0].Done {
 			return false
 		}
 		s := n.InterSwitchStats()
 		// Each data packet needs >= 2 inter-switch hops (rack 0 to rack 2).
-		if s.Transmitted < 2*uint64(n.flows[0].SizePkts) {
+		if s.Transmitted < 2*uint64(n.Flows()[0].SizePkts) {
 			return false
 		}
 		// MaxQueue records the DCTCP instant queue: capPkts waiting plus

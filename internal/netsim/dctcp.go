@@ -11,6 +11,9 @@ import (
 //
 // The sender also owns routing decisions: flowlets (50 µs gap) re-roll the
 // ECMP path hash and, under VLB/HYB, the Valiant intermediate.
+//
+// Senders live inside conn slab slots and are re-initialized in place by
+// initSender when a slot is (re)allocated.
 type sender struct {
 	n *Network
 	f *Flow
@@ -27,9 +30,13 @@ type sender struct {
 	markedWin int
 	winEnd    int32 // when sndUna passes winEnd, fold the window stats
 
-	// Lazy retransmission timer.
+	// Lazy retransmission timer. deadline is the logical timeout; timerAt
+	// and timerSeq are the (time, seq) key of the one pending engine event,
+	// recorded so checkpoints can re-arm it exactly.
 	deadline   sim.Time
 	timerArmed bool
+	timerAt    sim.Time
+	timerSeq   uint64
 
 	// Flowlet and routing state.
 	lastSend    sim.Time
@@ -41,8 +48,9 @@ type sender struct {
 	fixedRoute  []int32 // MPTCP: subflow pinned to one path for its lifetime
 }
 
-func newSender(n *Network, f *Flow) *sender {
-	s := &sender{
+// initSender re-initializes a (possibly recycled) sender in place.
+func initSender(s *sender, n *Network, f *Flow) {
+	*s = sender{
 		n:        n,
 		f:        f,
 		cwnd:     n.Cfg.InitialWindowPackets,
@@ -50,7 +58,6 @@ func newSender(n *Network, f *Flow) *sender {
 		via:      -1,
 		lastSend: -sim.Time(1 << 60),
 	}
-	return s
 }
 
 func (s *sender) start() {
@@ -136,17 +143,21 @@ func (s *sender) armTimer() {
 		return
 	}
 	s.timerArmed = true
-	s.n.Eng.Schedule(s.deadline, s.timerFire)
+	s.timerAt = s.deadline
+	s.timerSeq = s.n.Eng.Schedule(s.deadline, s.timerFire)
 }
 
 func (s *sender) timerFire() {
 	if s.f.Done {
 		s.timerArmed = false
+		// The timer was the last reference holding this slot alive.
+		s.n.tryRecycle(s.n.conns.At(s.f.ID))
 		return
 	}
 	now := s.n.Eng.Now()
 	if now < s.deadline {
-		s.n.Eng.Schedule(s.deadline, s.timerFire)
+		s.timerAt = s.deadline
+		s.timerSeq = s.n.Eng.Schedule(s.deadline, s.timerFire)
 		return
 	}
 	s.timerArmed = false
@@ -209,7 +220,7 @@ func (s *sender) onAck(p *Packet) {
 			s.cwnd += newly / s.cwnd
 		}
 		if s.sndUna >= s.f.SizePkts {
-			s.n.flowCompleted(s.f)
+			s.n.flowCompleted(s.n.conns.At(s.f.ID))
 			return
 		}
 		s.armTimer()
@@ -230,13 +241,22 @@ func (s *sender) onAck(p *Packet) {
 
 // receiver tracks in-order delivery with out-of-order buffering (selective
 // buffering keeps benign flowlet reordering from triggering go-back-N), and
-// acknowledges every data packet, echoing its CE mark.
+// acknowledges every data packet, echoing its CE mark. The out-of-order map
+// is retained across slot recycling (it is empty at flow completion).
 type receiver struct {
 	rcvNxt int32
 	ooo    map[int32]struct{}
 }
 
-func newReceiver() *receiver { return &receiver{ooo: nil} }
+// reset prepares a (possibly recycled) receiver for a new flow. The
+// out-of-order set is always empty when a flow completes, but clearing it
+// here (a no-op then) keeps a stale entry from ever corrupting a new flow.
+func (r *receiver) reset() {
+	r.rcvNxt = 0
+	for k := range r.ooo {
+		delete(r.ooo, k)
+	}
+}
 
 func (r *receiver) onData(n *Network, p *Packet) {
 	if p.Seq == r.rcvNxt {

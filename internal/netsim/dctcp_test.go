@@ -19,9 +19,9 @@ func TestAlphaRisesUnderPersistentCongestion(t *testing.T) {
 	}
 	n.Eng.Run(20 * sim.Millisecond) // mid-transfer: congestion is persistent
 	sawAlpha := 0.0
-	for _, s := range n.senders {
-		if s.alpha > sawAlpha {
-			sawAlpha = s.alpha
+	for _, f := range n.Flows() {
+		if a := n.connAt(f.ID).snd.alpha; a > sawAlpha {
+			sawAlpha = a
 		}
 	}
 	if sawAlpha < 0.05 {
@@ -44,9 +44,9 @@ func TestAlphaComparedAcrossLoads(t *testing.T) {
 		}
 		n.Eng.Run(10 * sim.Millisecond)
 		max := 0.0
-		for _, s := range n.senders {
-			if s.alpha > max {
-				max = s.alpha
+		for _, f := range n.Flows() {
+			if a := n.connAt(f.ID).snd.alpha; a > max {
+				max = a
 			}
 		}
 		return max
@@ -92,7 +92,7 @@ func TestWindowBoundedInFlight(t *testing.T) {
 	maxInflight := int32(0)
 	for i := 0; i < 500 && !f.Done; i++ {
 		n.Eng.Run(n.Eng.Now() + sim.Time(50*sim.Microsecond))
-		s := n.senders[0]
+		s := &n.connAt(f.ID).snd
 		if inflight := s.nextSeq - s.sndUna; inflight > maxInflight {
 			maxInflight = inflight
 		}
@@ -115,12 +115,10 @@ func TestECNEchoPropagation(t *testing.T) {
 	topo := twoRackTopo(2)
 	cfg := DefaultConfig()
 	n := NewNetwork(topo, cfg)
-	r := newReceiver()
+	f := n.StartFlow(0, 2, 10*1400) // occupies slot 0 so injected ACKs account
+	r := &receiver{}
 	p := n.pool.get()
-	p.FlowID = 0
-	n.flows = append(n.flows, &Flow{SizePkts: 10})
-	n.senders = append(n.senders, newSender(n, n.flows[0]))
-	n.recvs = append(n.recvs, r)
+	p.FlowID = f.ID
 
 	p.Seq = 0
 	p.CE = true
@@ -134,7 +132,7 @@ func TestECNEchoPropagation(t *testing.T) {
 		t.Fatalf("rcvNxt = %d, want 1", r.rcvNxt)
 	}
 	p2 := n.pool.get()
-	p2.FlowID = 0
+	p2.FlowID = f.ID
 	p2.Seq = 1
 	p2.CE = false
 	p2.SrcServer = 0
@@ -151,13 +149,11 @@ func TestReceiverOutOfOrderBuffering(t *testing.T) {
 	topo := twoRackTopo(2)
 	cfg := DefaultConfig()
 	n := NewNetwork(topo, cfg)
-	n.flows = append(n.flows, &Flow{SizePkts: 10})
-	n.senders = append(n.senders, newSender(n, n.flows[0]))
-	r := newReceiver()
-	n.recvs = append(n.recvs, r)
+	f := n.StartFlow(0, 2, 10*1400) // occupies slot 0 so injected ACKs account
+	r := &receiver{}
 	feed := func(seq int32) {
 		p := n.pool.get()
-		p.FlowID = 0
+		p.FlowID = f.ID
 		p.Seq = seq
 		p.DstServer = 2
 		p.SrcServer = 0

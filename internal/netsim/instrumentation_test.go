@@ -18,7 +18,7 @@ func TestAvgDataPathHopsECMPvsVLB(t *testing.T) {
 		n := NewNetwork(topo, cfg)
 		n.StartFlow(0, 2, 2_000_000) // rack 0 -> rack 1
 		n.Eng.Run(5 * sim.Second)
-		if !n.flows[0].Done {
+		if !n.Flows()[0].Done {
 			t.Fatalf("%v flow incomplete", r)
 		}
 		return n.AvgDataPathHops()
@@ -95,7 +95,7 @@ func TestHopAccountingWithFatTree(t *testing.T) {
 	dst := ft.TotalServers() - 1 // last server (pod k-1)
 	n.StartFlow(src, dst, 100_000)
 	n.Eng.Run(sim.Second)
-	if !n.flows[0].Done {
+	if !n.Flows()[0].Done {
 		t.Fatalf("flow incomplete")
 	}
 	got := n.AvgDataPathHops()

@@ -10,7 +10,14 @@ import "beyondft/internal/sim"
 // Transmission is event-driven and allocation-free on the per-packet path:
 // the tx-done and delivery handlers are bound once at construction and
 // scheduled via sim.Engine.SchedulePacket.
+//
+// Beyond the queue, the link tracks its two kinds of in-flight state — the
+// packet in service (txPkt, with the time/seq of its pending tx-done event)
+// and the packets propagating toward the receiver (transit, FIFO because
+// the propagation delay is constant) — so a checkpoint can re-arm every
+// pending event with its original (time, seq) key.
 type Link struct {
+	id      int32 // index into Network.allLinks (checkpoint addressing)
 	eng     *sim.Engine
 	bitsPNs float64 // rate in bits per nanosecond
 	propNs  sim.Time
@@ -20,6 +27,16 @@ type Link struct {
 	capPkts  int
 	ecnThold int
 	busy     bool
+
+	// In-service packet and its pending tx-done event key.
+	txPkt *Packet
+	txAt  sim.Time
+	txSeq uint64
+
+	// Packets between tx-done and delivery, with their event keys;
+	// transit[transitHead] is the oldest (next to deliver).
+	transit     []linkTransit
+	transitHead int
 
 	deliver func(*Packet) // invoked at the receiver after tx + propagation
 	drop    func(*Packet) // invoked when the queue is full
@@ -37,6 +54,14 @@ type Link struct {
 	Marked      uint64
 	BytesTx     uint64
 	MaxQueue    int
+}
+
+// linkTransit is one packet propagating on the wire and the (time, seq) key
+// of its pending delivery event.
+type linkTransit struct {
+	p   *Packet
+	at  sim.Time
+	seq uint64
 }
 
 func newLink(eng *sim.Engine, rateGbps float64, propNs int64, capPkts, ecnThold int,
@@ -116,7 +141,9 @@ func (l *Link) startTx() {
 	if txNs < 1 {
 		txNs = 1
 	}
-	l.eng.SchedulePacket(l.eng.Now()+txNs, l.txDoneFn, p)
+	l.txPkt = p
+	l.txAt = l.eng.Now() + txNs
+	l.txSeq = l.eng.SchedulePacket(l.txAt, l.txDoneFn, p)
 }
 
 // onTxDone fires when the last bit leaves the queue: the packet propagates,
@@ -125,7 +152,10 @@ func (l *Link) onTxDone(arg any) {
 	p := arg.(*Packet)
 	l.Transmitted++
 	l.BytesTx += uint64(p.SizeBytes)
-	l.eng.SchedulePacket(l.eng.Now()+l.propNs, l.deliverFn, p)
+	at := l.eng.Now() + l.propNs
+	seq := l.eng.SchedulePacket(at, l.deliverFn, p)
+	l.transit = append(l.transit, linkTransit{p: p, at: at, seq: seq})
+	l.txPkt = nil
 	if l.queuedLen() > 0 {
 		l.startTx()
 	} else {
@@ -134,5 +164,20 @@ func (l *Link) onTxDone(arg any) {
 }
 
 func (l *Link) onDeliver(arg any) {
+	// Constant propagation delay means deliveries are FIFO: the argument is
+	// always transit[transitHead].
+	l.transit[l.transitHead] = linkTransit{}
+	l.transitHead++
+	if l.transitHead == len(l.transit) {
+		l.transit = l.transit[:0]
+		l.transitHead = 0
+	} else if l.transitHead > 64 && l.transitHead*2 >= len(l.transit) {
+		n := copy(l.transit, l.transit[l.transitHead:])
+		for i := n; i < len(l.transit); i++ {
+			l.transit[i] = linkTransit{}
+		}
+		l.transit = l.transit[:n]
+		l.transitHead = 0
+	}
 	l.deliver(arg.(*Packet))
 }

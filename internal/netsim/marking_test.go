@@ -127,7 +127,7 @@ func TestPacketConservationCounters(t *testing.T) {
 		}
 		var payload uint64
 		for _, f := range n.Flows() {
-			if n.senders[f.ID] == nil {
+			if n.connAt(f.ID).isParent {
 				continue // MPTCP parents own no transport; subflows carry the bytes
 			}
 			payload += uint64(f.SizeBytes)

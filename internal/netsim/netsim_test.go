@@ -187,7 +187,7 @@ func TestHybSwitchesToVLBAfterThreshold(t *testing.T) {
 	if !f.Done {
 		t.Fatalf("short flow incomplete")
 	}
-	s := n.senders[f.ID]
+	s := &n.connAt(f.ID).snd
 	if s.hybVLB {
 		t.Fatalf("HYB switched to VLB before the Q threshold")
 	}
@@ -196,7 +196,7 @@ func TestHybSwitchesToVLBAfterThreshold(t *testing.T) {
 	if !f2.Done {
 		t.Fatalf("long flow incomplete")
 	}
-	if !n.senders[f2.ID].hybVLB {
+	if !n.connAt(f2.ID).snd.hybVLB {
 		t.Fatalf("HYB did not switch to VLB after the Q threshold")
 	}
 }

@@ -2,15 +2,24 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 
+	"beyondft/internal/obs"
 	"beyondft/internal/sim"
+	"beyondft/internal/slab"
+	"beyondft/internal/stats"
 	"beyondft/internal/topology"
 )
 
 // Network wires a topology into a runnable packet simulation: hosts with
 // DCTCP transports, switches with per-destination ECMP next-hop tables, and
 // output-queued links everywhere.
+//
+// Flow state lives in a slab: each flow's record, DCTCP sender and receiver
+// share one slab slot (a conn), addressed by Flow.ID. In DiscardCompleted
+// mode the slot is recycled once the flow completes and its last packet has
+// drained, so a run's footprint is its peak concurrency — the slab
+// high-water mark — not its total flow count; completion statistics stream
+// into a mergeable sketch instead of a retained slice.
 type Network struct {
 	Eng  *sim.Engine
 	Cfg  Config
@@ -29,6 +38,10 @@ type Network struct {
 	// linkTo[u][v] is the directed link from switch u to neighbor v.
 	linkTo     []map[int]*Link
 	interLinks []*Link
+	// allLinks is every link in deterministic construction order (host up,
+	// host down, inter-switch); allLinks[l.id] == l. Checkpoints address
+	// link state through it.
+	allLinks []*Link
 
 	// kspCache holds the k shortest switch-level paths per (src,dst) ToR
 	// pair, computed lazily for KSP/MPTCP routing. It is bounded to
@@ -38,12 +51,30 @@ type Network struct {
 	kspOrder [][2]int32
 	kspHead  int
 
-	rng  *rand.Rand
+	rng  *sim.RNG
 	pool packetPool
 
-	flows   []*Flow
-	senders []*sender
-	recvs   []*receiver
+	conns   *slab.Slab[conn]
+	flowSeq int64 // flows ever started (slab slots recycle; this does not)
+	started int64
+	ended   int64
+
+	// flows retains every flow record in arrival order — only when
+	// DiscardCompleted is off (the legacy mode; Flows() serves it).
+	flows []*Flow
+
+	fctSketch  *stats.Sketch
+	fctMoments *stats.Moments
+	onComplete func(*Flow)
+
+	liveGauge     *obs.Gauge
+	slabGauge     *obs.Gauge
+	slabHighGauge *obs.Gauge
+
+	// pendingArrivals counts ScheduleFlow closures not yet fired; checkpoints
+	// refuse while any exist (closures cannot be serialized — drivers that
+	// checkpoint must inject flows between Run calls, as workload.Runner does).
+	pendingArrivals int
 
 	// TotalDrops counts packets lost to full queues anywhere.
 	TotalDrops uint64
@@ -64,6 +95,20 @@ type Network struct {
 	DataBytesDelivered uint64
 }
 
+// conn is one slab slot: a flow, its transport endpoints and the in-flight
+// packet count that gates slot recycling.
+type conn struct {
+	flow Flow
+	snd  sender
+	rcv  receiver
+	// inFlight counts this flow's packets (data and ACK) currently inside
+	// the network — queued, in service, or propagating. A slot recycles only
+	// at zero, so no live packet can ever reference a recycled flow.
+	inFlight int32
+	// isParent marks an MPTCP aggregate record that owns no transport.
+	isParent bool
+}
+
 // LoopStats exposes the underlying event engine's loop statistics (events
 // processed, heap-depth high water, simulated/wall time) for observability:
 // together with the packet counters below, it answers "how hard did this
@@ -73,7 +118,8 @@ func (n *Network) LoopStats() sim.LoopStats { return n.Eng.Stats() }
 
 // Flow is one transfer and its completion record.
 type Flow struct {
-	ID        int32
+	ID        int32 // slab slot; recycled in DiscardCompleted mode
+	Seq       int64 // monotonic start ordinal, never recycled
 	SrcServer int32
 	DstServer int32
 	SizeBytes int64
@@ -85,7 +131,7 @@ type Flow struct {
 	// MPTCP bookkeeping: subflows are Hidden children of a parent flow that
 	// completes when the last child does.
 	Hidden       bool
-	parent       *Flow
+	parentSlot   int32 // slab slot of the parent flow; -1 for none
 	childrenLeft int
 }
 
@@ -102,7 +148,10 @@ func NewNetwork(t *topology.Topology, cfg Config) *Network {
 		Cfg:         cfg,
 		Topo:        t,
 		numSwitches: t.NumSwitches(),
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		rng:         sim.NewRNG(cfg.Seed),
+		conns:       slab.New[conn](1024),
+		fctSketch:   stats.NewSketch(cfg.SketchAlpha),
+		fctMoments:  stats.NewMoments(),
 	}
 	serverTorInt := t.ServerSwitch()
 	n.numServers = len(serverTorInt)
@@ -170,18 +219,97 @@ func NewNetwork(t *topology.Topology, cfg Config) *Network {
 			n.nextHop[u][dst] = links
 		}
 	}
+
+	// Deterministic link enumeration for checkpoints.
+	n.allLinks = make([]*Link, 0, 2*n.numServers+len(n.interLinks))
+	n.allLinks = append(n.allLinks, n.hostUp...)
+	n.allLinks = append(n.allLinks, n.hostDown...)
+	n.allLinks = append(n.allLinks, n.interLinks...)
+	for i, l := range n.allLinks {
+		l.id = int32(i)
+	}
 	return n
 }
 
 // NumServers returns the number of servers in the simulation.
 func (n *Network) NumServers() int { return n.numServers }
 
-// Flows returns all flows started so far.
+// Flows returns all flows started so far (retain mode only; empty when
+// DiscardCompleted streams them out instead).
 func (n *Network) Flows() []*Flow { return n.flows }
+
+// FlowsStarted returns the number of flows ever started (MPTCP parents
+// count once; their hidden subflows do not).
+func (n *Network) FlowsStarted() int64 { return n.started }
+
+// FlowsCompleted returns the number of non-hidden flows completed.
+func (n *Network) FlowsCompleted() int64 { return n.ended }
+
+// FCTSketch returns the streaming FCT sketch (nanoseconds) over completed
+// non-hidden flows.
+func (n *Network) FCTSketch() *stats.Sketch { return n.fctSketch }
+
+// FCTMoments returns the streaming FCT moments (nanoseconds) over completed
+// non-hidden flows.
+func (n *Network) FCTMoments() *stats.Moments { return n.fctMoments }
+
+// SetOnComplete registers a callback invoked at every non-hidden flow's
+// completion instant, before its state is recycled. Drivers in
+// DiscardCompleted mode use it to classify flows into their own statistics.
+func (n *Network) SetOnComplete(fn func(*Flow)) { n.onComplete = fn }
+
+// SetMetrics attaches observability gauges: live tracks in-progress flows,
+// slabOccupancy the live conn slots, and slabHighWater the peak slot count
+// (the number that bounds heap use). Any gauge may be nil.
+func (n *Network) SetMetrics(live, slabOccupancy, slabHighWater *obs.Gauge) {
+	n.liveGauge = live
+	n.slabGauge = slabOccupancy
+	n.slabHighGauge = slabHighWater
+	n.updateGauges()
+}
+
+func (n *Network) updateGauges() {
+	n.liveGauge.Set(n.started - n.ended)
+	n.slabGauge.Set(int64(n.conns.InUse()))
+	n.slabHighGauge.Set(int64(n.conns.HighWater()))
+}
+
+// SlabHighWater returns the peak number of concurrently allocated conn
+// slots — the quantity that bounds flow-state memory regardless of how many
+// flows have passed through.
+func (n *Network) SlabHighWater() int { return n.conns.HighWater() }
+
+// connAt returns the conn in slot id.
+func (n *Network) connAt(id int32) *conn { return n.conns.At(id) }
 
 func (n *Network) onDrop(p *Packet) {
 	n.TotalDrops++
+	n.release(p)
+}
+
+// release returns a packet to the pool and credits its flow's in-flight
+// count; the last packet out triggers slot recycling for completed flows.
+func (n *Network) release(p *Packet) {
+	c := n.conns.At(p.FlowID)
+	c.inFlight--
 	n.pool.put(p)
+	if c.flow.Done {
+		n.tryRecycle(c)
+	}
+}
+
+// tryRecycle frees a completed flow's slot once nothing can reference it:
+// no packet in flight and no pending retransmission timer. Retain mode
+// never recycles (Flows() owns the records).
+func (n *Network) tryRecycle(c *conn) {
+	if !n.Cfg.DiscardCompleted {
+		return
+	}
+	if !c.flow.Done || c.inFlight > 0 || c.snd.timerArmed {
+		return
+	}
+	n.conns.Free(c.flow.ID)
+	n.updateGauges()
 }
 
 // inject hands a packet to its sending host's NIC, counting it for the
@@ -192,6 +320,7 @@ func (n *Network) inject(host int32, p *Packet) {
 	if !p.IsAck {
 		n.DataBytesInjected += uint64(p.SizeBytes)
 	}
+	n.conns.At(p.FlowID).inFlight++
 	n.hostUp[host].Enqueue(p)
 }
 
@@ -240,23 +369,25 @@ func (n *Network) atSwitch(u int32, p *Packet) {
 // to its receiver (which responds with an ACK).
 func (n *Network) atHost(host int32, p *Packet) {
 	n.PktsDelivered++
+	c := n.conns.At(p.FlowID)
 	if p.IsAck {
-		s := n.senders[p.FlowID]
-		s.onAck(p)
-		n.pool.put(p)
+		c.snd.onAck(p)
+		n.release(p)
 		return
 	}
 	n.DataDelivered++
 	n.DataBytesDelivered += uint64(p.SizeBytes)
-	r := n.recvs[p.FlowID]
-	r.onData(n, p)
-	n.pool.put(p)
+	c.rcv.onData(n, p)
+	n.release(p)
 }
 
 // StartFlow injects a flow of sizeBytes from srcServer to dstServer at the
 // current simulation time and returns its record. Under MPTCP routing,
 // large flows are split into subflows pinned to distinct shortest paths;
 // the returned parent flow completes when the last subflow does.
+//
+// In DiscardCompleted mode the returned *Flow is valid only until the flow
+// completes (its slot recycles); use SetOnComplete to observe completions.
 func (n *Network) StartFlow(srcServer, dstServer int, sizeBytes int64) *Flow {
 	if srcServer == dstServer {
 		panic("netsim: flow to self")
@@ -264,35 +395,55 @@ func (n *Network) StartFlow(srcServer, dstServer int, sizeBytes int64) *Flow {
 	if n.Cfg.Routing == MPTCP {
 		return n.startMPTCP(srcServer, dstServer, sizeBytes)
 	}
-	return n.startSingleFlow(srcServer, dstServer, sizeBytes, nil, nil)
+	return n.startSingleFlow(srcServer, dstServer, sizeBytes, nil, -1)
+}
+
+// allocConn takes a slab slot and initializes its flow record. Recycled
+// slots retain buffers (the receiver's out-of-order set) but every field
+// read is re-initialized here.
+func (n *Network) allocConn(srcServer, dstServer int, sizeBytes int64, pkts int32,
+	hidden bool, parentSlot int32) *conn {
+	slot, c := n.conns.Alloc()
+	c.flow = Flow{
+		ID:         slot,
+		Seq:        n.flowSeq,
+		SrcServer:  int32(srcServer),
+		DstServer:  int32(dstServer),
+		SizeBytes:  sizeBytes,
+		SizePkts:   pkts,
+		StartNs:    n.Eng.Now(),
+		Hidden:     hidden,
+		parentSlot: parentSlot,
+	}
+	n.flowSeq++
+	c.inFlight = 0
+	c.isParent = false
+	if !hidden {
+		n.started++
+	}
+	if !n.Cfg.DiscardCompleted {
+		n.flows = append(n.flows, &c.flow)
+	}
+	n.updateGauges()
+	return c
 }
 
 // startSingleFlow creates one transport flow; route pins it to a source
-// route (MPTCP subflows), parent links it to an aggregate flow record.
+// route (MPTCP subflows), parentSlot links it to an aggregate flow record.
 func (n *Network) startSingleFlow(srcServer, dstServer int, sizeBytes int64,
-	route []int32, parent *Flow) *Flow {
+	route []int32, parentSlot int32) *Flow {
 	payload := int64(n.Cfg.PayloadBytes)
 	pkts := (sizeBytes + payload - 1) / payload
 	if pkts == 0 {
 		pkts = 1
 	}
-	f := &Flow{
-		ID:        int32(len(n.flows)),
-		SrcServer: int32(srcServer),
-		DstServer: int32(dstServer),
-		SizeBytes: sizeBytes,
-		SizePkts:  int32(pkts),
-		StartNs:   n.Eng.Now(),
-		Hidden:    parent != nil,
-		parent:    parent,
-	}
-	n.flows = append(n.flows, f)
-	snd := newSender(n, f)
-	snd.fixedRoute = route
-	n.senders = append(n.senders, snd)
-	n.recvs = append(n.recvs, newReceiver())
-	snd.start()
-	return f
+	c := n.allocConn(srcServer, dstServer, sizeBytes, int32(pkts),
+		parentSlot >= 0, parentSlot)
+	initSender(&c.snd, n, &c.flow)
+	c.snd.fixedRoute = route
+	c.rcv.reset()
+	c.snd.start()
+	return &c.flow
 }
 
 // startMPTCP splits a flow across subflows on distinct k-shortest paths.
@@ -314,42 +465,57 @@ func (n *Network) startMPTCP(srcServer, dstServer int, sizeBytes int64) *Flow {
 		if len(paths) > 0 && srcTor != dstTor {
 			route = paths[0]
 		}
-		return n.startSingleFlow(srcServer, dstServer, sizeBytes, route, nil)
+		return n.startSingleFlow(srcServer, dstServer, sizeBytes, route, -1)
 	}
-	parent := &Flow{
-		ID:           int32(len(n.flows)),
-		SrcServer:    int32(srcServer),
-		DstServer:    int32(dstServer),
-		SizeBytes:    sizeBytes,
-		SizePkts:     int32((sizeBytes + payload - 1) / payload),
-		StartNs:      n.Eng.Now(),
-		childrenLeft: k,
-	}
-	n.flows = append(n.flows, parent)
-	n.senders = append(n.senders, nil) // the parent owns no transport
-	n.recvs = append(n.recvs, nil)
+	pc := n.allocConn(srcServer, dstServer, sizeBytes,
+		int32((sizeBytes+payload-1)/payload), false, -1)
+	pc.isParent = true // aggregate record: owns no transport
+	pc.flow.childrenLeft = k
+	pc.snd = sender{}
+	parentSlot := pc.flow.ID
 	per := sizeBytes / int64(k)
 	for i := 0; i < k; i++ {
 		sz := per
 		if i == k-1 {
 			sz = sizeBytes - per*int64(k-1)
 		}
-		n.startSingleFlow(srcServer, dstServer, sz, paths[i%len(paths)], parent)
+		n.startSingleFlow(srcServer, dstServer, sz, paths[i%len(paths)], parentSlot)
 	}
-	return parent
+	return &pc.flow
 }
 
 // flowCompleted finalizes a flow and propagates completion to MPTCP parents.
-func (n *Network) flowCompleted(f *Flow) {
-	f.Done = true
-	f.EndNs = n.Eng.Now()
-	if p := f.parent; p != nil {
-		p.childrenLeft--
-		if p.childrenLeft == 0 {
-			p.Done = true
-			p.EndNs = n.Eng.Now()
+func (n *Network) flowCompleted(c *conn) {
+	c.flow.Done = true
+	c.flow.EndNs = n.Eng.Now()
+	n.recordCompletion(&c.flow)
+	n.tryRecycle(c)
+	if ps := c.flow.parentSlot; ps >= 0 {
+		pc := n.conns.At(ps)
+		pc.flow.childrenLeft--
+		if pc.flow.childrenLeft == 0 {
+			pc.flow.Done = true
+			pc.flow.EndNs = n.Eng.Now()
+			n.recordCompletion(&pc.flow)
+			n.tryRecycle(pc)
 		}
 	}
+}
+
+// recordCompletion streams a completed non-hidden flow into the FCT sketch
+// and fires the completion callback.
+func (n *Network) recordCompletion(f *Flow) {
+	if f.Hidden {
+		return
+	}
+	n.ended++
+	fct := float64(f.FCT())
+	n.fctSketch.Add(fct)
+	n.fctMoments.Add(fct)
+	if n.onComplete != nil {
+		n.onComplete(f)
+	}
+	n.updateGauges()
 }
 
 // kspPaths returns (and caches) up to Cfg.KSPPaths loopless shortest paths
@@ -396,7 +562,11 @@ func (n *Network) KSPCacheSize() int { return len(n.kspCache) }
 
 // ScheduleFlow injects a flow at absolute time at.
 func (n *Network) ScheduleFlow(at sim.Time, srcServer, dstServer int, sizeBytes int64) {
-	n.Eng.Schedule(at, func() { n.StartFlow(srcServer, dstServer, sizeBytes) })
+	n.pendingArrivals++
+	n.Eng.Schedule(at, func() {
+		n.pendingArrivals--
+		n.StartFlow(srcServer, dstServer, sizeBytes)
+	})
 }
 
 // AvgDataPathHops returns the mean number of switches visited per delivered

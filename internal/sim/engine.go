@@ -143,13 +143,16 @@ func (e *Engine) pop() event {
 }
 
 // Schedule runs fn at absolute time at (>= Now; earlier times are clamped to
-// Now, preserving causality).
-func (e *Engine) Schedule(at Time, fn func()) {
+// Now, preserving causality). It returns the event's sequence number — the
+// FIFO tie-break rank — which checkpointing code records so a restored run
+// replays same-instant events in the original order.
+func (e *Engine) Schedule(at Time, fn func()) uint64 {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
 	e.push(event{at: at, seq: e.seq, fn: fn})
+	return e.seq
 }
 
 // After runs fn after delay d.
@@ -157,13 +160,47 @@ func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
 
 // SchedulePacket runs pfn(arg) at time at without allocating: pfn must be a
 // pre-bound function value (e.g. stored once per link), not a fresh closure.
-func (e *Engine) SchedulePacket(at Time, pfn func(any), arg any) {
+// Like Schedule, it returns the event's sequence number.
+func (e *Engine) SchedulePacket(at Time, pfn func(any), arg any) uint64 {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
 	e.push(event{at: at, seq: e.seq, pfn: pfn, arg: arg})
+	return e.seq
 }
+
+// ScheduleExact re-inserts a generic event under a previously recorded
+// sequence number. It exists for checkpoint restore only: re-arming the
+// pending events of a snapshot with their original (time, seq) keys makes
+// the restored run's event order — including exact-time ties — bit-identical
+// to the uninterrupted one. The caller owns seq uniqueness; SeqClock/SetClock
+// restore the counter itself.
+func (e *Engine) ScheduleExact(at Time, seq uint64, fn func()) {
+	e.push(event{at: at, seq: seq, fn: fn})
+}
+
+// SchedulePacketExact is ScheduleExact for packet events.
+func (e *Engine) SchedulePacketExact(at Time, seq uint64, pfn func(any), arg any) {
+	e.push(event{at: at, seq: seq, pfn: pfn, arg: arg})
+}
+
+// SeqClock returns the engine's current sequence counter (the tie-break rank
+// the next scheduled event would get, minus one).
+func (e *Engine) SeqClock() uint64 { return e.seq }
+
+// SetClock force-sets the simulated time and sequence counter. Checkpoint
+// restore only: it must run before any ScheduleExact calls so clamping and
+// fresh sequence numbers line up with the snapshotted run.
+func (e *Engine) SetClock(now Time, seq uint64) {
+	e.now = now
+	e.seq = seq
+}
+
+// SetProcessed force-sets the executed-event counter. Checkpoint restore
+// only: it keeps Processed() continuous across a restore, so event-count
+// reporting matches the uninterrupted run.
+func (e *Engine) SetProcessed(n uint64) { e.count = n }
 
 func (e *Engine) dispatch(ev *event) {
 	if ev.fn != nil {

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sorted is a sorted view of a sample that answers repeated quantile and
+// CDF queries without re-sorting. Percentile and CDF on raw slices copy and
+// sort per call — O(n log n) each — which the experiment pipelines paid at
+// every reported percentile of the same FCT list. Build a Sorted once and
+// each Percentile call is O(1), each CDF walk O(n).
+type Sorted struct {
+	xs []float64
+}
+
+// NewSorted copies and sorts xs. The input slice is not retained.
+func NewSorted(xs []float64) Sorted {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Sorted{xs: s}
+}
+
+// SortInPlace sorts xs and wraps it without copying: for callers that own
+// the slice and are done appending to it.
+func SortInPlace(xs []float64) Sorted {
+	sort.Float64s(xs)
+	return Sorted{xs: xs}
+}
+
+// Len returns the sample size.
+func (s Sorted) Len() int { return len(s.xs) }
+
+// Percentile returns the p-th percentile (p in [0,100]) by linear
+// interpolation between order statistics; NaN for an empty sample.
+func (s Sorted) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// CDF returns the empirical CDF at each distinct value.
+func (s Sorted) CDF() []CDFPoint {
+	if len(s.xs) == 0 {
+		return nil
+	}
+	var out []CDFPoint
+	n := float64(len(s.xs))
+	for i := 0; i < len(s.xs); i++ {
+		if i+1 < len(s.xs) && s.xs[i+1] == s.xs[i] {
+			continue
+		}
+		out = append(out, CDFPoint{X: s.xs[i], P: float64(i+1) / n})
+	}
+	return out
+}
+
+// Min returns the smallest value; NaN for an empty sample.
+func (s Sorted) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	return s.xs[0]
+}
+
+// Max returns the largest value; NaN for an empty sample.
+func (s Sorted) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	return s.xs[len(s.xs)-1]
+}

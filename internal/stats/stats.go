@@ -2,10 +2,7 @@
 // percentiles and empirical CDFs.
 package stats
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Mean returns the arithmetic mean, or NaN for empty input.
 func Mean(xs []float64) float64 {
@@ -20,27 +17,11 @@ func Mean(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) using linear
-// interpolation between order statistics; NaN for empty input.
+// interpolation between order statistics; NaN for empty input. It copies
+// and sorts xs on every call — callers querying several percentiles of one
+// sample should build a Sorted once instead.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	if p <= 0 {
-		return sorted[0]
-	}
-	if p >= 100 {
-		return sorted[len(sorted)-1]
-	}
-	rank := p / 100 * float64(len(sorted)-1)
-	lo := int(math.Floor(rank))
-	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return sorted[lo]
-	}
-	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return NewSorted(xs).Percentile(p)
 }
 
 // CDFPoint is one step of an empirical CDF.
@@ -49,22 +30,10 @@ type CDFPoint struct {
 	P float64 // P(value <= X)
 }
 
-// CDF returns the empirical CDF of xs at each distinct value.
+// CDF returns the empirical CDF of xs at each distinct value. Like
+// Percentile, it sorts per call; use Sorted for repeated queries.
 func CDF(xs []float64) []CDFPoint {
-	if len(xs) == 0 {
-		return nil
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	var out []CDFPoint
-	n := float64(len(sorted))
-	for i := 0; i < len(sorted); i++ {
-		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
-			continue
-		}
-		out = append(out, CDFPoint{X: sorted[i], P: float64(i+1) / n})
-	}
-	return out
+	return NewSorted(xs).CDF()
 }
 
 // Min and Max return extrema (NaN for empty input).

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"beyondft/internal/fluid"
+	"beyondft/internal/stats"
 )
 
 // TestCompareFluidRejectsPerturbations is the negative-path sweep: take a
@@ -127,5 +128,57 @@ func TestCompareFCTRejectsPerturbations(t *testing.T) {
 	bad := Failed(checks)
 	if len(bad) != 1 || !strings.Contains(bad[0].Name, "bad") {
 		t.Errorf("Failed() = %+v, want exactly the fct-ratio violation", bad)
+	}
+}
+
+// TestCompareSketchRejectsPerturbations drives the streaming-vs-retained
+// comparator with sketches that disagree with the retained sample.
+func TestCompareSketchRejectsPerturbations(t *testing.T) {
+	exact := make([]float64, 1000)
+	good := stats.NewSketch(0)
+	m := stats.NewMoments()
+	for i := range exact {
+		v := 1e5 + 1e3*float64(i)
+		exact[i] = v
+		good.Add(v)
+		m.Add(v)
+	}
+	if c := CompareSketch("base", exact, good, m); !c.OK() {
+		t.Fatalf("faithful sketch must pass, got %q", c.Err)
+	}
+
+	// Sketch fed values 10% off: quantiles leave the declared band.
+	skewed := stats.NewSketch(0)
+	for _, v := range exact {
+		skewed.Add(v * 1.1)
+	}
+	if c := CompareSketch("skewed", exact, skewed, m); c.OK() {
+		t.Errorf("10%%-skewed sketch passed the %.4f tolerance", SketchRelTol)
+	}
+
+	// Sketch missing values: count mismatch.
+	short := stats.NewSketch(0)
+	for _, v := range exact[:999] {
+		short.Add(v)
+	}
+	if c := CompareSketch("short", exact, short, m); c.OK() {
+		t.Errorf("undercounting sketch passed")
+	} else if !strings.Contains(c.Err, "count") {
+		t.Errorf("undercount err %q, want count mismatch", c.Err)
+	}
+
+	// Moments drifted: mean off by far more than float noise.
+	bad := stats.NewMoments()
+	for _, v := range exact {
+		bad.Add(v * 1.01)
+	}
+	if c := CompareSketch("drift", exact, good, bad); c.OK() {
+		t.Errorf("drifted moments passed")
+	} else if !strings.Contains(c.Err, "mean") {
+		t.Errorf("drift err %q, want mean mismatch", c.Err)
+	}
+
+	if c := CompareSketch("empty", nil, stats.NewSketch(0), stats.NewMoments()); c.OK() {
+		t.Errorf("empty sample passed")
 	}
 }

@@ -1,0 +1,111 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"beyondft/internal/netsim"
+	"beyondft/internal/stats"
+)
+
+// SketchRelTol is the declared relative-error tolerance for the simulators'
+// streaming quantile sketches against the exact sample quantile over
+// retained FCTs, compared at the sketch's own rank convention (the value of
+// rank ceil(q·n)). That is precisely the DDSketch accuracy guarantee, so
+// the declared tolerance is stats.DefaultSketchAlpha with no slack. Like
+// the constants in validate.go this is a contract: a violation means the
+// streaming path is no longer faithful to the retained path.
+const SketchRelTol = stats.DefaultSketchAlpha
+
+// sketchQuantiles are the quantiles the streaming-vs-retained comparison
+// checks — the ones the paper's figures report.
+var sketchQuantiles = []float64{0.5, 0.9, 0.99}
+
+// SketchChecks replays the simulator validation scenarios with retained
+// flow records and cross-checks the streaming FCT statistics (quantile
+// sketch and moments) against exact values computed from the same flows.
+func SketchChecks(seed int64, smoke bool) []Check {
+	var out []Check
+	for _, sc := range simScenarios(smoke) {
+		name := "sims/" + sc.name
+		cfg := netsim.DefaultConfig()
+		cfg.Seed = seed
+		n := netsim.NewNetwork(sc.topo(), cfg)
+		for _, f := range sc.flows {
+			n.ScheduleFlow(f.at, f.src, f.dst, f.size)
+		}
+		n.Eng.RunAll()
+		var exact []float64
+		incomplete := false
+		for _, f := range n.Flows() {
+			if f.Hidden {
+				continue
+			}
+			if !f.Done {
+				incomplete = true
+				break
+			}
+			exact = append(exact, float64(f.FCT()))
+		}
+		if incomplete {
+			out = append(out, Check{Name: name + "/sketch-vs-exact",
+				Err: "skipped: scenario left incomplete flows"})
+			continue
+		}
+		out = append(out, CompareSketch(name, exact, n.FCTSketch(), n.FCTMoments()))
+	}
+	return out
+}
+
+// CompareSketch checks the streamed statistics against exact values over
+// the retained sample: every checked quantile within SketchRelTol relative
+// error, count exact, and the moments mean within float accumulation noise.
+// Exported so negative tests can feed perturbed sketches and prove the
+// comparator rejects them.
+func CompareSketch(name string, exact []float64, sk *stats.Sketch, m *stats.Moments) Check {
+	c := Check{Name: name + "/sketch-vs-exact"}
+	if len(exact) == 0 {
+		c.Err = "no completed flows to compare"
+		return c
+	}
+	if sk.Count() != uint64(len(exact)) {
+		c.Err = fmt.Sprintf("sketch count %d != %d retained flows", sk.Count(), len(exact))
+		return c
+	}
+	sorted := append([]float64(nil), exact...)
+	sort.Float64s(sorted)
+	worst := 0.0
+	for _, q := range sketchQuantiles {
+		got := sk.Quantile(q)
+		// The sketch answers with the value of rank ceil(q·n); its accuracy
+		// bound holds against that order statistic, not an interpolated
+		// percentile (the two differ arbitrarily on tiny samples).
+		rank := int(math.Ceil(q * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		want := sorted[rank-1]
+		rel := math.Abs(got-want) / want
+		if rel > worst {
+			worst = rel
+		}
+		if rel > SketchRelTol {
+			c.Err = fmt.Sprintf("q%.2f: sketch %.0f vs exact %.0f (rel err %.4f > declared %.4f)",
+				q, got, want, rel, SketchRelTol)
+			return c
+		}
+	}
+	exactMean := 0.0
+	for _, v := range exact {
+		exactMean += v
+	}
+	exactMean /= float64(len(exact))
+	if rel := math.Abs(m.Mean()-exactMean) / exactMean; rel > 1e-9 {
+		c.Err = fmt.Sprintf("moments mean %.2f vs exact %.2f (rel err %.2g)", m.Mean(), exactMean, rel)
+		return c
+	}
+	c.Detail = fmt.Sprintf("%d flows, worst quantile rel err %.4f (declared %.4f)",
+		len(exact), worst, SketchRelTol)
+	return c
+}

@@ -59,6 +59,7 @@ func All(seed int64, smoke bool) []Check {
 	var out []Check
 	out = append(out, FluidChecks(seed, smoke)...)
 	out = append(out, SimChecks(seed, smoke)...)
+	out = append(out, SketchChecks(seed, smoke)...)
 	return out
 }
 

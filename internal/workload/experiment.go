@@ -1,11 +1,8 @@
 package workload
 
 import (
-	"math/rand"
-
 	"beyondft/internal/netsim"
 	"beyondft/internal/sim"
-	"beyondft/internal/stats"
 )
 
 // Experiment is the §6.4 framework: Poisson flow arrivals at aggregate rate
@@ -57,78 +54,14 @@ type Result struct {
 	Events         uint64
 }
 
-// Run executes the experiment on net (which must be freshly built).
+// Run executes the experiment on net (which must be freshly built). It is
+// a thin wrapper over Runner: arrivals are injected pull-style and the
+// metrics stream through Moments/Sketch accumulators, so net may run in
+// DiscardCompleted mode and memory stays flat in flow count. P99ShortFCTMs
+// is a sketch estimate, within stats.DefaultSketchAlpha relative error of
+// the exact sample percentile.
 func (e *Experiment) Run(net *netsim.Network) Result {
-	rng := rand.New(rand.NewSource(e.Seed))
-	interArrival := func() sim.Time {
-		gapSec := rng.ExpFloat64() / e.Lambda
-		ns := sim.Time(gapSec * float64(sim.Second))
-		if ns < 1 {
-			ns = 1
-		}
-		return ns
-	}
-	// Self-rescheduling arrival process keeps offered load constant while
-	// measured stragglers drain.
-	var arrive func()
-	arrive = func() {
-		src, dst := e.Pairs.Sample(rng)
-		size := e.Sizes.Sample(rng)
-		net.StartFlow(src, dst, size)
-		next := net.Eng.Now() + interArrival()
-		if next < e.MaxSimTime {
-			net.Eng.Schedule(next, arrive)
-		}
-	}
-	net.Eng.Schedule(interArrival(), arrive)
-
-	// Run in chunks until all measured flows complete.
-	chunk := sim.Time(10 * sim.Millisecond)
-	measuredDone := func() bool {
-		if net.Eng.Now() < e.MeasureEnd {
-			return false
-		}
-		for _, f := range net.Flows() {
-			if f.Hidden {
-				continue
-			}
-			if f.StartNs >= e.MeasureStart && f.StartNs < e.MeasureEnd && !f.Done {
-				return false
-			}
-		}
-		return true
-	}
-	for net.Eng.Now() < e.MaxSimTime && !measuredDone() {
-		net.Eng.Run(net.Eng.Now() + chunk)
-		if net.Eng.Pending() == 0 {
-			break
-		}
-	}
-
-	res := Result{Drops: net.TotalDrops, SimulatedNs: net.Eng.Now(), Events: net.Eng.Processed()}
-	var all, short []float64
-	var longTput []float64
-	for _, f := range net.Flows() {
-		if f.Hidden || f.StartNs < e.MeasureStart || f.StartNs >= e.MeasureEnd {
-			continue
-		}
-		res.MeasuredFlows++
-		if !f.Done {
-			res.Overloaded = true
-			continue
-		}
-		res.CompletedFlows++
-		fctMs := float64(f.FCT()) / float64(sim.Millisecond)
-		all = append(all, fctMs)
-		if f.SizeBytes < e.ShortFlowBytes {
-			short = append(short, fctMs)
-		} else {
-			gbps := float64(f.SizeBytes) * 8 / float64(f.FCT()) // bits per ns == Gbps
-			longTput = append(longTput, gbps)
-		}
-	}
-	res.AvgFCTMs = stats.Mean(all)
-	res.P99ShortFCTMs = stats.Percentile(short, 99)
-	res.AvgLongTputGbps = stats.Mean(longTput)
-	return res
+	r := NewRunner(e, net)
+	r.RunToCompletion()
+	return r.Result()
 }

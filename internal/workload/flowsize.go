@@ -7,14 +7,24 @@ package workload
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 )
+
+// Rand is the randomness source the workload distributions draw from. Both
+// *math/rand.Rand and *sim.RNG satisfy it; the experiment Runner uses the
+// latter so its stream position can ride inside a checkpoint.
+type Rand interface {
+	Intn(n int) int
+	Float64() float64
+	ExpFloat64() float64
+	Perm(n int) []int
+	Shuffle(n int, swap func(i, j int))
+}
 
 // FlowSizeDist samples flow sizes in bytes.
 type FlowSizeDist interface {
 	Name() string
-	Sample(rng *rand.Rand) int64
+	Sample(rng Rand) int64
 	Mean() float64
 }
 
@@ -61,7 +71,7 @@ func (d *DiscreteCDF) Name() string { return d.name }
 func (d *DiscreteCDF) Mean() float64 { return d.mean }
 
 // Sample implements FlowSizeDist.
-func (d *DiscreteCDF) Sample(rng *rand.Rand) int64 {
+func (d *DiscreteCDF) Sample(rng Rand) int64 {
 	u := rng.Float64()
 	i := sort.Search(len(d.entries), func(i int) bool { return d.entries[i].cdf >= u })
 	if i >= len(d.entries) {
@@ -131,7 +141,7 @@ func (p *ParetoHULL) Name() string { return "pareto-hull" }
 func (p *ParetoHULL) Mean() float64 { return p.mean }
 
 // Sample implements FlowSizeDist via inverse-CDF of the bounded Pareto.
-func (p *ParetoHULL) Sample(rng *rand.Rand) int64 {
+func (p *ParetoHULL) Sample(rng Rand) int64 {
 	u := rng.Float64()
 	a := p.shape
 	la, ha := math.Pow(p.lo, a), math.Pow(p.hi, a)

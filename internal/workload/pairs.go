@@ -2,7 +2,6 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"beyondft/internal/topology"
@@ -11,7 +10,7 @@ import (
 // PairDist samples (source server, destination server) pairs for new flows.
 type PairDist interface {
 	Name() string
-	Sample(rng *rand.Rand) (src, dst int)
+	Sample(rng Rand) (src, dst int)
 	// ActiveServers returns how many servers can appear in flows.
 	ActiveServers() int
 }
@@ -32,7 +31,7 @@ func rackServers(t *topology.Topology) map[int][]int {
 // ActiveRacks picks the racks participating in an x-fraction workload. For
 // fat-trees the paper uses the first x fraction (consecutive pods); for flat
 // topologies, a random x fraction.
-func ActiveRacks(t *topology.Topology, x float64, consecutive bool, rng *rand.Rand) []int {
+func ActiveRacks(t *topology.Topology, x float64, consecutive bool, rng Rand) []int {
 	tors := t.ToRs()
 	k := int(x*float64(len(tors)) + 0.5)
 	if k < 2 {
@@ -77,7 +76,7 @@ func (a *A2A) Name() string { return fmt.Sprintf("a2a-%d", len(a.servers)) }
 func (a *A2A) ActiveServers() int { return len(a.servers) }
 
 // Sample implements PairDist.
-func (a *A2A) Sample(rng *rand.Rand) (int, int) {
+func (a *A2A) Sample(rng Rand) (int, int) {
 	s := a.servers[rng.Intn(len(a.servers))]
 	for {
 		d := a.servers[rng.Intn(len(a.servers))]
@@ -95,7 +94,7 @@ type Permute struct {
 }
 
 // NewPermute matches the active racks pairwise at random.
-func NewPermute(t *topology.Topology, activeRacks []int, rng *rand.Rand) *Permute {
+func NewPermute(t *topology.Topology, activeRacks []int, rng Rand) *Permute {
 	if len(activeRacks) < 2 {
 		panic("workload: Permute needs >= 2 racks")
 	}
@@ -118,7 +117,7 @@ func (p *Permute) Name() string { return fmt.Sprintf("permute-%d", len(p.pairs)*
 func (p *Permute) ActiveServers() int { return p.servers }
 
 // Sample implements PairDist.
-func (p *Permute) Sample(rng *rand.Rand) (int, int) {
+func (p *Permute) Sample(rng Rand) (int, int) {
 	pr := p.pairs[rng.Intn(len(p.pairs))]
 	a, b := pr[0], pr[1]
 	if rng.Intn(2) == 0 {
@@ -141,7 +140,7 @@ type Skew struct {
 }
 
 // NewSkew builds Skew(θ,φ) over all racks of t with a random hot set.
-func NewSkew(t *topology.Topology, theta, phi float64, rng *rand.Rand) *Skew {
+func NewSkew(t *topology.Topology, theta, phi float64, rng Rand) *Skew {
 	tors := t.ToRs()
 	if len(tors) < 2 {
 		panic("workload: Skew needs >= 2 racks")
@@ -188,7 +187,7 @@ func (s *Skew) Name() string { return fmt.Sprintf("skew-%.2f-%.2f", s.theta, s.p
 // ActiveServers implements PairDist.
 func (s *Skew) ActiveServers() int { return s.servers }
 
-func (s *Skew) sampleRack(rng *rand.Rand) int {
+func (s *Skew) sampleRack(rng Rand) int {
 	u := rng.Float64()
 	i := sort.SearchFloat64s(s.cum, u)
 	if i >= len(s.racks) {
@@ -198,7 +197,7 @@ func (s *Skew) sampleRack(rng *rand.Rand) int {
 }
 
 // Sample implements PairDist.
-func (s *Skew) Sample(rng *rand.Rand) (int, int) {
+func (s *Skew) Sample(rng Rand) (int, int) {
 	for {
 		ra := s.sampleRack(rng)
 		rb := s.sampleRack(rng)
@@ -257,7 +256,7 @@ func (tr *TwoRacks) Name() string { return fmt.Sprintf("tworacks-%d", len(tr.a)+
 func (tr *TwoRacks) ActiveServers() int { return len(tr.a) + len(tr.b) }
 
 // Sample implements PairDist.
-func (tr *TwoRacks) Sample(rng *rand.Rand) (int, int) {
+func (tr *TwoRacks) Sample(rng Rand) (int, int) {
 	if rng.Intn(2) == 0 {
 		return tr.a[rng.Intn(len(tr.a))], tr.b[rng.Intn(len(tr.b))]
 	}
@@ -277,7 +276,7 @@ type PairMatrix struct {
 // NewProjecToRLike synthesizes a heavy-tailed rack-pair matrix with the
 // ProjecToR summary statistic: hotFrac of the probability mass concentrated
 // on hotPairFrac of the rack pairs (paper: 77% of bytes over 4% of pairs).
-func NewProjecToRLike(t *topology.Topology, hotPairFrac, hotFrac float64, rng *rand.Rand) *PairMatrix {
+func NewProjecToRLike(t *topology.Topology, hotPairFrac, hotFrac float64, rng Rand) *PairMatrix {
 	tors := t.ToRs()
 	var pairs [][2]int
 	for i := 0; i < len(tors); i++ {
@@ -321,7 +320,7 @@ func (pm *PairMatrix) Name() string { return pm.name }
 func (pm *PairMatrix) ActiveServers() int { return pm.servers }
 
 // Sample implements PairDist.
-func (pm *PairMatrix) Sample(rng *rand.Rand) (int, int) {
+func (pm *PairMatrix) Sample(rng Rand) (int, int) {
 	u := rng.Float64()
 	i := sort.SearchFloat64s(pm.cum, u)
 	if i >= len(pm.pairs) {

@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"beyondft/internal/netsim"
+	"beyondft/internal/sim"
+	"beyondft/internal/stats"
+)
+
+// Runner drives an Experiment on a netsim.Network pull-style: it runs the
+// engine to each Poisson arrival instant and injects the flow synchronously,
+// so nothing lives in engine closures and the whole simulation — network,
+// workload RNG position, next-arrival clock, streaming statistics — can be
+// checkpointed between Step calls and resumed bit-identically.
+//
+// Statistics stream: measured-flow FCTs feed a Moments accumulator and a
+// quantile sketch as flows complete, so memory stays flat in flow count and
+// the network can run in DiscardCompleted mode.
+type Runner struct {
+	Exp *Experiment
+	Net *netsim.Network
+
+	rng    *sim.RNG
+	nextAt sim.Time // next arrival instant; past MaxSimTime once arrivals stop
+
+	measuredStarted   int64
+	measuredCompleted int64
+
+	all      *stats.Moments // measured FCT, ms
+	short    *stats.Sketch  // measured short-flow FCT, ms
+	longTput *stats.Moments // measured long-flow throughput, Gbps
+}
+
+// NewRunner binds an experiment to a freshly built network. The runner owns
+// the network's completion callback.
+func NewRunner(e *Experiment, net *netsim.Network) *Runner {
+	r := &Runner{
+		Exp:      e,
+		Net:      net,
+		rng:      sim.NewRNG(e.Seed),
+		all:      stats.NewMoments(),
+		short:    stats.NewSketch(0),
+		longTput: stats.NewMoments(),
+	}
+	r.nextAt = r.interArrival()
+	net.SetOnComplete(r.onComplete)
+	return r
+}
+
+func (r *Runner) interArrival() sim.Time {
+	gapSec := r.rng.ExpFloat64() / r.Exp.Lambda
+	ns := sim.Time(gapSec * float64(sim.Second))
+	if ns < 1 {
+		ns = 1
+	}
+	return ns
+}
+
+func (r *Runner) onComplete(f *netsim.Flow) {
+	if f.StartNs < r.Exp.MeasureStart || f.StartNs >= r.Exp.MeasureEnd {
+		return
+	}
+	r.measuredCompleted++
+	fctMs := float64(f.FCT()) / float64(sim.Millisecond)
+	r.all.Add(fctMs)
+	if f.SizeBytes < r.Exp.ShortFlowBytes {
+		r.short.Add(fctMs)
+	} else {
+		r.longTput.Add(float64(f.SizeBytes) * 8 / float64(f.FCT())) // bits/ns == Gbps
+	}
+}
+
+// inject starts the flow due at the current instant and draws the next
+// arrival. Arrivals cease once the next instant would reach MaxSimTime.
+func (r *Runner) inject() {
+	src, dst := r.Exp.Pairs.Sample(r.rng)
+	size := r.Exp.Sizes.Sample(r.rng)
+	now := r.Net.Eng.Now()
+	r.Net.StartFlow(src, dst, size)
+	if now >= r.Exp.MeasureStart && now < r.Exp.MeasureEnd {
+		r.measuredStarted++
+	}
+	r.nextAt = now + r.interArrival()
+}
+
+// Step advances the simulation to `until` (clamped to MaxSimTime),
+// injecting every arrival due on the way. It returns with the engine
+// clock at the target — a safe point to Checkpoint.
+func (r *Runner) Step(until sim.Time) {
+	if until > r.Exp.MaxSimTime {
+		until = r.Exp.MaxSimTime
+	}
+	for {
+		if r.nextAt <= until && r.nextAt < r.Exp.MaxSimTime {
+			r.Net.Eng.Run(r.nextAt)
+			r.inject()
+			continue
+		}
+		r.Net.Eng.Run(until)
+		return
+	}
+}
+
+// Done reports whether every measured flow has completed (and the measure
+// window is behind us).
+func (r *Runner) Done() bool {
+	return r.Net.Eng.Now() >= r.Exp.MeasureEnd && r.measuredCompleted == r.measuredStarted
+}
+
+// Drained reports that nothing remains to simulate: no events in flight and
+// no arrivals left before MaxSimTime. A drained run can stop early even if
+// measured flows were lost (overload).
+func (r *Runner) Drained() bool {
+	return r.Net.Eng.Pending() == 0 && r.nextAt >= r.Exp.MaxSimTime
+}
+
+// RunToCompletion drives the experiment until the measured flows finish or
+// MaxSimTime flags the run as overloaded. Chunks align to absolute
+// multiples of 10 ms, so the stopping time — and with it Result's
+// SimulatedNs/Events — does not depend on where a checkpoint cut the run.
+func (r *Runner) RunToCompletion() {
+	const chunk = 10 * sim.Millisecond
+	for r.Net.Eng.Now() < r.Exp.MaxSimTime && !r.Done() {
+		r.Step((r.Net.Eng.Now()/chunk + 1) * chunk)
+		if r.Drained() {
+			break
+		}
+	}
+}
+
+// Result summarizes the streamed statistics in the paper's three metrics.
+func (r *Runner) Result() Result {
+	res := Result{
+		Drops:          r.Net.TotalDrops,
+		SimulatedNs:    r.Net.Eng.Now(),
+		Events:         r.Net.Eng.Processed(),
+		MeasuredFlows:  int(r.measuredStarted),
+		CompletedFlows: int(r.measuredCompleted),
+		Overloaded:     r.measuredCompleted < r.measuredStarted,
+	}
+	res.AvgFCTMs = r.all.Mean()
+	res.P99ShortFCTMs = r.short.Quantile(0.99)
+	res.AvgLongTputGbps = r.longTput.Mean()
+	return res
+}
+
+// ShortFCTSketch exposes the streamed short-flow FCT quantile sketch
+// (milliseconds), for callers that render full quantile curves beyond the
+// single p99 in Result.
+func (r *Runner) ShortFCTSketch() *stats.Sketch { return r.short }
+
+// runnerState is the Driver blob a Runner stores inside a netsim.Checkpoint.
+type runnerState struct {
+	RNG               sim.RNG        `json:"rng"`
+	NextAt            sim.Time       `json:"next_at"`
+	MeasuredStarted   int64          `json:"measured_started"`
+	MeasuredCompleted int64          `json:"measured_completed"`
+	All               *stats.Moments `json:"all"`
+	Short             *stats.Sketch  `json:"short"`
+	LongTput          *stats.Moments `json:"long_tput"`
+}
+
+// Checkpoint snapshots the network and the runner's own position. Call it
+// only between Step calls.
+func (r *Runner) Checkpoint() (*netsim.Checkpoint, error) {
+	blob, err := json.Marshal(runnerState{
+		RNG:               *r.rng,
+		NextAt:            r.nextAt,
+		MeasuredStarted:   r.measuredStarted,
+		MeasuredCompleted: r.measuredCompleted,
+		All:               r.all,
+		Short:             r.short,
+		LongTput:          r.longTput,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.Net.Checkpoint(blob)
+}
+
+// ResumeRunner restores cp into net (freshly built with the checkpoint's
+// config) and rebuilds the runner around it, continuing exactly where
+// Checkpoint left off.
+func ResumeRunner(e *Experiment, net *netsim.Network, cp *netsim.Checkpoint) (*Runner, error) {
+	if len(cp.Driver) == 0 {
+		return nil, fmt.Errorf("workload: checkpoint carries no runner state")
+	}
+	var st runnerState
+	if err := json.Unmarshal(cp.Driver, &st); err != nil {
+		return nil, fmt.Errorf("workload: runner state: %w", err)
+	}
+	if err := net.Restore(cp); err != nil {
+		return nil, err
+	}
+	rng := st.RNG
+	r := &Runner{
+		Exp:               e,
+		Net:               net,
+		rng:               &rng,
+		nextAt:            st.NextAt,
+		measuredStarted:   st.MeasuredStarted,
+		measuredCompleted: st.MeasuredCompleted,
+		all:               st.All,
+		short:             st.Short,
+		longTput:          st.LongTput,
+	}
+	if r.all == nil || r.short == nil || r.longTput == nil {
+		return nil, fmt.Errorf("workload: runner state missing statistics")
+	}
+	net.SetOnComplete(r.onComplete)
+	return r, nil
+}

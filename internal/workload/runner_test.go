@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+
+	"beyondft/internal/netsim"
+	"beyondft/internal/sim"
+	"beyondft/internal/topology"
+)
+
+func runnerFixture() (*Experiment, netsim.Config, *topology.Topology) {
+	topo := &topology.NewFatTree(4).Topology
+	cfg := netsim.DefaultConfig()
+	cfg.Routing = netsim.HYB
+	cfg.DiscardCompleted = true
+	// A small bounded size mix (mean ~50 KB, max 200 KB) at 5k flows/s
+	// offers ~2 Gbps across the fat-tree: every flow drains fast, so the
+	// fixture exercises both short- and long-flow metrics in milliseconds
+	// of simulated time.
+	sizes := NewDiscreteCDF("tiny-mix",
+		[]int64{2_000, 30_000, 200_000}, []float64{0.5, 0.8, 1.0})
+	e := DefaultExperiment(
+		NewA2A(topo, topo.ToRs()),
+		sizes,
+		5_000, // flows/sec
+		sim.Millisecond, 11*sim.Millisecond, 500*sim.Millisecond, 11,
+	)
+	return e, cfg, topo
+}
+
+// TestRunnerMatchesExperimentRun: the public Experiment.Run wrapper and a
+// hand-stepped Runner must agree exactly.
+func TestRunnerMatchesExperimentRun(t *testing.T) {
+	e, cfg, topo := runnerFixture()
+	want := e.Run(netsim.NewNetwork(topo, cfg))
+
+	r := NewRunner(e, netsim.NewNetwork(topo, cfg))
+	for !r.Done() && r.Net.Eng.Now() < e.MaxSimTime {
+		r.Step(r.Net.Eng.Now() + sim.Millisecond)
+	}
+	got := r.Result()
+	// Stepping granularity moves only the stopping instant; every statistic
+	// must be identical.
+	got.SimulatedNs, got.Events = want.SimulatedNs, want.Events
+	if want != got {
+		t.Fatalf("stepped runner diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+	if want.MeasuredFlows == 0 || want.CompletedFlows != want.MeasuredFlows {
+		t.Fatalf("fixture should complete all measured flows: %+v", want)
+	}
+	if want.Overloaded {
+		t.Fatalf("fixture should not overload: %+v", want)
+	}
+}
+
+// TestRunnerCheckpointResume: a checkpoint/JSON/restore round-trip
+// mid-experiment must reproduce the uninterrupted result exactly — network,
+// workload RNG position, arrival clock and streamed statistics all resume.
+func TestRunnerCheckpointResume(t *testing.T) {
+	e, cfg, topo := runnerFixture()
+	want := e.Run(netsim.NewNetwork(topo, cfg))
+
+	for _, cutMs := range []int{1, 6, 10} {
+		r := NewRunner(e, netsim.NewNetwork(topo, cfg))
+		r.Step(sim.Time(cutMs) * sim.Millisecond)
+		cp, err := r.Checkpoint()
+		if err != nil {
+			t.Fatalf("cut %dms: checkpoint: %v", cutMs, err)
+		}
+		blob, err := json.Marshal(cp)
+		if err != nil {
+			t.Fatalf("cut %dms: marshal: %v", cutMs, err)
+		}
+		var cp2 netsim.Checkpoint
+		if err := json.Unmarshal(blob, &cp2); err != nil {
+			t.Fatalf("cut %dms: unmarshal: %v", cutMs, err)
+		}
+		r2, err := ResumeRunner(e, netsim.NewNetwork(topo, cfg), &cp2)
+		if err != nil {
+			t.Fatalf("cut %dms: resume: %v", cutMs, err)
+		}
+		r2.RunToCompletion()
+		if got := r2.Result(); got != want {
+			t.Fatalf("cut %dms: resumed result diverged:\nwant %+v\ngot  %+v", cutMs, want, got)
+		}
+	}
+}
+
+// TestRunnerResumeRejectsForeignCheckpoint: a checkpoint without runner
+// state (e.g. taken by a bare netsim driver) must be refused.
+func TestRunnerResumeRejectsForeignCheckpoint(t *testing.T) {
+	e, cfg, topo := runnerFixture()
+	n := netsim.NewNetwork(topo, cfg)
+	cp, err := n.Checkpoint(nil)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if _, err := ResumeRunner(e, netsim.NewNetwork(topo, cfg), cp); err == nil {
+		t.Fatalf("resume should reject a checkpoint without runner state")
+	}
+}
