@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race vet bench bench-all bench-smoke serve-smoke validate-smoke whatif-smoke sim-scale-smoke fuzz-smoke fuzz cover figures figures-full run examples clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke bench-cluster serve-smoke cluster-smoke validate-smoke whatif-smoke sim-scale-smoke fuzz-smoke fuzz cover figures figures-full run examples clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: vet bench-smoke serve-smoke validate-smoke whatif-smoke sim-scale-smoke fuzz-smoke cover
+test: vet bench-smoke serve-smoke cluster-smoke validate-smoke whatif-smoke sim-scale-smoke fuzz-smoke cover
 
 # Full test suite with the per-package coverage gate (see README "Coverage
 # gate"): every internal/ package must hold >= 60% statement coverage.
@@ -22,9 +22,9 @@ cover:
 test-race:
 	go test -race ./internal/harness/... ./internal/experiments/... \
 		./internal/graph/... ./internal/fluid/... ./internal/tm/... \
-		./internal/serve/... ./internal/flowsim/... ./internal/netsim/... \
-		./internal/sim/... ./internal/minheap/... ./internal/topology/... \
-		./internal/validate/... ./internal/whatif/...
+		./internal/serve/... ./internal/cluster/... ./internal/flowsim/... \
+		./internal/netsim/... ./internal/sim/... ./internal/minheap/... \
+		./internal/topology/... ./internal/validate/... ./internal/whatif/...
 
 # Cross-model validation (DESIGN.md §10): exact LP vs Garg–Könemann vs
 # flowsim vs netsim on shared scenarios, plus conservation and replay
@@ -135,6 +135,53 @@ serve-smoke:
 	grep -q 'drained cleanly' $(SMOKE_DIR)/log || { echo "serve-smoke: no clean drain"; cat $(SMOKE_DIR)/log; exit 1; }; \
 	echo "serve-smoke: ok ($$addr: /healthz 200, /v1/throughput 200, clean drain)"; \
 	rm -rf $(SMOKE_DIR)
+
+# End-to-end smoke of the cluster tier (DESIGN.md §14): three in-process
+# nodes on one consistent-hash ring serve a mixed query/batch workload, one
+# node is killed mid-run, and every result must be byte-identical to a
+# standalone node with zero duplicate computes fleet-wide and at least one
+# peer cache fill. Wired into `make test`.
+cluster-smoke:
+	go test -run '^TestClusterSmoke$$' -count=1 ./internal/cluster
+
+# Latency CDFs for the cluster tier: open-loop Poisson load (cmd/loadgen)
+# against a 1-node and then a 3-node beyondftd deployment, both runs merged
+# into $(LOADGEN_OUT) for comparison. Fixed ports, so this is a manual
+# target, not part of `make test`.
+LOADGEN_DIR := .bench-cluster
+LOADGEN_OUT := BENCH_pr8.json
+LOADGEN_RPS := 300
+LOADGEN_DUR := 15s
+LOADGEN_PORTS := 19381 19382 19383
+bench-cluster:
+	@rm -rf $(LOADGEN_DIR) && mkdir -p $(LOADGEN_DIR)
+	@go build -o $(LOADGEN_DIR)/beyondftd ./cmd/beyondftd
+	@go build -o $(LOADGEN_DIR)/loadgen ./cmd/loadgen
+	@$(LOADGEN_DIR)/beyondftd -addr 127.0.0.1:19380 -cache $(LOADGEN_DIR)/c0 -out '' \
+		2> $(LOADGEN_DIR)/log0 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do curl -sf -o /dev/null http://127.0.0.1:19380/readyz && break; sleep 0.1; done; \
+	$(LOADGEN_DIR)/loadgen -targets http://127.0.0.1:19380 -rps $(LOADGEN_RPS) \
+		-duration $(LOADGEN_DUR) -name 1node -out $(LOADGEN_OUT) \
+		|| { kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid || { echo "bench-cluster: 1-node daemon exited non-zero"; cat $(LOADGEN_DIR)/log0; exit 1; }
+	@peers=$$(for p in $(LOADGEN_PORTS); do printf ',http://127.0.0.1:%s' $$p; done); peers=$${peers#,}; \
+	pids=""; \
+	for p in $(LOADGEN_PORTS); do \
+		$(LOADGEN_DIR)/beyondftd -addr 127.0.0.1:$$p -cache $(LOADGEN_DIR)/c$$p -out '' \
+			-self http://127.0.0.1:$$p -peers "$$peers" 2> $(LOADGEN_DIR)/log$$p & \
+		pids="$$pids $$!"; \
+	done; \
+	for p in $(LOADGEN_PORTS); do \
+		for i in $$(seq 1 100); do curl -sf -o /dev/null http://127.0.0.1:$$p/readyz && break; sleep 0.1; done; \
+	done; \
+	$(LOADGEN_DIR)/loadgen -targets "$$peers" -rps $(LOADGEN_RPS) \
+		-duration $(LOADGEN_DUR) -name 3node -out $(LOADGEN_OUT) \
+		|| { kill $$pids 2>/dev/null; exit 1; }; \
+	kill -TERM $$pids; \
+	for pid in $$pids; do wait $$pid || { echo "bench-cluster: a 3-node daemon exited non-zero"; exit 1; }; done; \
+	echo "bench-cluster: 1node and 3node CDFs merged into $(LOADGEN_OUT)"; \
+	rm -rf $(LOADGEN_DIR)
 
 # Everything: one benchmark per paper table/figure plus micro/ablation
 # benches. Set BEYONDFT_PRINT=1 to also print the regenerated rows.

@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"beyondft/internal/cluster"
 	"beyondft/internal/experiments"
 	"beyondft/internal/graph"
 	"beyondft/internal/serve"
@@ -50,6 +51,10 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	portFile := flag.String("port-file", "", "write the bound address to this file once listening (for scripts)")
 	smoke := flag.Bool("smoke", false, "self-check: boot, probe /healthz and /v1/throughput, drain, exit")
+	self := flag.String("self", "", "this node's advertised base URL for cluster mode (e.g. http://10.0.0.5:8080)")
+	peersFlag := flag.String("peers", "", "comma-separated peer base URLs forming the cluster ring (implies -self)")
+	forwardTimeout := flag.Duration("forward-timeout", 15*time.Second, "per-peer forward attempt timeout in cluster mode")
+	readyGrace := flag.Duration("ready-grace", 0, "after a shutdown signal, keep serving this long with /readyz=503 before draining")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "beyondftd: ", log.LstdFlags|log.Lmsgprefix)
@@ -85,6 +90,25 @@ func main() {
 		}
 	}
 
+	if *peersFlag != "" {
+		selfURL := *self
+		if selfURL == "" {
+			// A usable default only when -addr binds a concrete host.
+			selfURL = "http://" + s.Addr()
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:           selfURL,
+			Peers:          strings.Split(*peersFlag, ","),
+			ForwardTimeout: *forwardTimeout,
+			Registry:       s.Metrics().Registry(),
+			Logf:           logger.Printf,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		s.EnableCluster(cl)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -99,6 +123,13 @@ func main() {
 	} else {
 		<-ctx.Done()
 		logger.Printf("signal received; draining (budget %s)", *drain)
+	}
+	if *readyGrace > 0 {
+		// Flip /readyz first so load balancers and peers route away while
+		// the listener still answers, then close it.
+		s.StartDrain()
+		logger.Printf("readyz now 503; grace %s before closing the listener", *readyGrace)
+		time.Sleep(*readyGrace)
 	}
 	if err := shutdown(s, *drain, logger); err != nil {
 		logger.Fatal(err)
@@ -132,6 +163,16 @@ func smokeCheck(addr string, logger *log.Logger) error {
 		return fmt.Errorf("GET /healthz: status %d", resp.StatusCode)
 	}
 	logger.Printf("smoke: GET /healthz -> %d", resp.StatusCode)
+
+	resp, err = client.Get(base + "/readyz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /readyz: status %d", resp.StatusCode)
+	}
+	logger.Printf("smoke: GET /readyz -> %d", resp.StatusCode)
 
 	body := `{"topo":{"kind":"jellyfish","n":24,"degree":5,"servers":4},"tm":"permutation","x":0.5}`
 	resp, err = client.Post(base+"/v1/throughput", "application/json", strings.NewReader(body))

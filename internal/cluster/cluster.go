@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"beyondft/internal/obs"
+)
+
+// ForwardHeader marks a request that has already been forwarded once by a
+// peer. Receivers must serve it locally, whatever their own ring says: two
+// nodes that momentarily disagree on membership could otherwise bounce a
+// request between themselves forever. The value is the origin node's ID,
+// for logs.
+const ForwardHeader = "X-Beyondftd-Forwarded"
+
+// Forwarded reports whether r arrived via a peer forward (loop guard).
+func Forwarded(r *http.Request) bool { return r.Header.Get(ForwardHeader) != "" }
+
+var (
+	// ErrSelf reports that forwarding bottomed out on this node itself (the
+	// key's live owner chain leads here): the caller should compute locally.
+	ErrSelf = errors.New("cluster: key is owned locally")
+	// ErrPeerSaturated reports that the key's owner shed the forwarded
+	// request with 429. The caller should propagate the shed rather than
+	// compute locally — if the fleet is out of capacity, absorbing the
+	// owner's rejections locally would defeat admission control.
+	ErrPeerSaturated = errors.New("cluster: owner saturated")
+)
+
+// maxForwardResponse caps how many bytes a peer response may carry (a
+// defensive bound; real envelopes are a few KB).
+const maxForwardResponse = 64 << 20
+
+// Config configures a Cluster.
+type Config struct {
+	// Self is this node's advertised base URL; it must appear in Peers
+	// (it is added if absent).
+	Self string
+	// Peers are the base URLs of every ring member, including Self.
+	Peers []string
+	// VNodes is the number of virtual nodes per peer (0 = DefaultVNodes).
+	VNodes int
+	// ForwardTimeout bounds one forward attempt to one peer (0 = 15s).
+	ForwardTimeout time.Duration
+	// Retries is how many extra attempts a transiently failing peer gets
+	// before the forward hedges to the next owner (< 0 = 0; default 1).
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per retry
+	// (0 = 25ms).
+	Backoff time.Duration
+	// Hedge is how many successor owners to try after the owner itself
+	// (0 = 1; the owner plus one hedge survives any single node failure).
+	Hedge int
+	// DownFor is how long a peer is skipped after a failed forward before
+	// being probed again (0 = 1s). Skipping turns a dead peer's cost from
+	// one timeout per request into one per DownFor.
+	DownFor time.Duration
+	// Registry receives cluster metrics (nil disables).
+	Registry *obs.Registry
+	// Client overrides the forwarding HTTP client (tests); nil builds one.
+	Client *http.Client
+	// Logf, if non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Cluster is one node's view of the fleet: the shared ring, the forwarding
+// transport, and per-peer health.
+type Cluster struct {
+	cfg     Config
+	self    string
+	ring    atomic.Pointer[Ring]
+	client  *http.Client
+	metrics *Metrics
+
+	mu   sync.Mutex
+	down map[string]time.Time // peer -> skip until
+}
+
+// New validates cfg and builds a node's cluster view.
+func New(cfg Config) (*Cluster, error) {
+	cfg.Self = normalizeURL(cfg.Self)
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: empty self URL")
+	}
+	peers := make([]string, 0, len(cfg.Peers)+1)
+	for _, p := range cfg.Peers {
+		if u := normalizeURL(p); u != "" {
+			peers = append(peers, u)
+		}
+	}
+	found := false
+	for _, p := range peers {
+		if p == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		peers = append(peers, cfg.Self)
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 15 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 1
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 25 * time.Millisecond
+	}
+	if cfg.Hedge <= 0 {
+		cfg.Hedge = 1
+	}
+	if cfg.DownFor <= 0 {
+		cfg.DownFor = time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		self:    cfg.Self,
+		client:  client,
+		metrics: NewMetrics(cfg.Registry),
+		down:    map[string]time.Time{},
+	}
+	c.setRing(NewRing(peers, cfg.VNodes))
+	return c, nil
+}
+
+// normalizeURL canonicalizes a peer address: trims whitespace and trailing
+// slashes and defaults the scheme to http, so "host:8080", "host:8080/" and
+// "http://host:8080" are one ring member, not three.
+func normalizeURL(u string) string {
+	u = strings.TrimRight(strings.TrimSpace(u), "/")
+	if u == "" {
+		return ""
+	}
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return u
+}
+
+// Self returns this node's advertised URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Peers returns the current ring membership (sorted).
+func (c *Cluster) Peers() []string { return c.ring.Load().Nodes() }
+
+// Metrics returns the cluster metric set.
+func (c *Cluster) Metrics() *Metrics { return c.metrics }
+
+// Owner returns the ring owner of key.
+func (c *Cluster) Owner(key string) string { return c.ring.Load().Owner(key) }
+
+// Owns reports whether this node owns key.
+func (c *Cluster) Owns(key string) bool { return c.Owner(key) == c.self }
+
+// SetPeers replaces the ring membership (Self is always retained).
+// Ownership moves deterministically and minimally (see ring_test.go), so a
+// rolling membership change re-homes only its share of the keyspace.
+func (c *Cluster) SetPeers(peers []string) {
+	all := make([]string, 0, len(peers)+1)
+	for _, p := range peers {
+		if u := normalizeURL(p); u != "" {
+			all = append(all, u)
+		}
+	}
+	all = append(all, c.self)
+	c.setRing(NewRing(all, c.cfg.VNodes))
+}
+
+func (c *Cluster) setRing(r *Ring) {
+	c.ring.Store(r)
+	c.metrics.setRing(r)
+	c.logf("cluster: %s self=%s", r, c.self)
+}
+
+// Forward sends body to path on key's owner and returns the peer's response
+// body. On transient peer failure it retries with backoff, then hedges to
+// the next distinct ring owner. It returns ErrSelf when the live owner
+// chain reaches this node (compute locally), ErrPeerSaturated when the
+// owner shed the request, and a joined error when every candidate failed
+// (the caller falls back to computing locally — availability over strict
+// ownership).
+func (c *Cluster) Forward(ctx context.Context, key, path string, body []byte) (data []byte, peer string, err error) {
+	owners := c.ring.Load().Owners(key, 1+c.cfg.Hedge)
+	var lastErr error
+	for i, p := range owners {
+		if p == c.self {
+			return nil, "", ErrSelf
+		}
+		if i > 0 {
+			c.metrics.Hedges.Add(1)
+		}
+		if !c.usable(p) {
+			lastErr = fmt.Errorf("peer %s marked down", p)
+			continue
+		}
+		data, err := c.attempt(ctx, p, path, body)
+		if err == nil {
+			return data, p, nil
+		}
+		if errors.Is(err, ErrPeerSaturated) {
+			return nil, p, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	c.metrics.Fallbacks.Add(1)
+	if lastErr == nil {
+		lastErr = errors.New("no candidate owners")
+	}
+	return nil, "", fmt.Errorf("cluster: forward key=%.12s…: %w", key, lastErr)
+}
+
+// attempt tries one peer up to 1+Retries times with exponential backoff,
+// marking the peer down when all attempts fail so subsequent forwards skip
+// straight to hedging until the peer has had DownFor to recover.
+func (c *Cluster) attempt(ctx context.Context, peer, path string, body []byte) ([]byte, error) {
+	var lastErr error
+	backoff := c.cfg.Backoff
+	for try := 0; try <= c.cfg.Retries; try++ {
+		if try > 0 {
+			c.metrics.Retries.Add(1)
+			select {
+			case <-time.After(backoff):
+				backoff *= 2
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		c.metrics.Forwards(peer).Add(1)
+		data, retryable, err := c.once(ctx, peer, path, body)
+		if err == nil {
+			c.markUp(peer)
+			return data, nil
+		}
+		c.metrics.ForwardErrors(peer).Add(1)
+		lastErr = err
+		if !retryable || ctx.Err() != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrPeerSaturated) {
+		c.markDown(peer, lastErr)
+	}
+	return nil, lastErr
+}
+
+// once performs a single forward attempt under the per-peer timeout.
+func (c *Cluster) once(ctx context.Context, peer, path string, body []byte) (data []byte, retryable bool, err error) {
+	tctx, cancel := context.WithTimeout(ctx, c.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodPost, peer+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, c.self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardResponse))
+		if err != nil {
+			return nil, true, fmt.Errorf("peer %s: read response: %w", peer, err)
+		}
+		return data, false, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, fmt.Errorf("peer %s: %w", peer, ErrPeerSaturated)
+	default:
+		io.Copy(io.Discard, resp.Body)
+		// 5xx may be transient (a peer mid-drain answers 503); 4xx will not
+		// improve on retry.
+		return nil, resp.StatusCode >= 500, fmt.Errorf("peer %s: status %d", peer, resp.StatusCode)
+	}
+}
+
+// usable reports whether a peer should be tried, allowing one probe once
+// its down-window has elapsed.
+func (c *Cluster) usable(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	until, bad := c.down[peer]
+	if !bad {
+		return true
+	}
+	if time.Now().After(until) {
+		// Probe: let this request through; failure re-arms the window.
+		delete(c.down, peer)
+		return true
+	}
+	return false
+}
+
+func (c *Cluster) markDown(peer string, cause error) {
+	c.mu.Lock()
+	_, already := c.down[peer]
+	c.down[peer] = time.Now().Add(c.cfg.DownFor)
+	c.mu.Unlock()
+	if !already {
+		c.metrics.Down(peer).Add(1)
+		c.logf("cluster: peer %s down for %s: %v", peer, c.cfg.DownFor, cause)
+	}
+}
+
+func (c *Cluster) markUp(peer string) {
+	c.mu.Lock()
+	_, was := c.down[peer]
+	delete(c.down, peer)
+	c.mu.Unlock()
+	if was {
+		c.logf("cluster: peer %s back up", peer)
+	}
+}
+
+func (c *Cluster) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

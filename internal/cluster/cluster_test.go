@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"beyondft/internal/obs"
+)
+
+// fastConfig returns a Config with millisecond-scale retry/backoff so
+// failure paths run quickly under test.
+func fastConfig(self string, peers ...string) Config {
+	return Config{
+		Self:           self,
+		Peers:          peers,
+		VNodes:         16,
+		ForwardTimeout: 2 * time.Second,
+		Retries:        1,
+		Backoff:        time.Millisecond,
+		Hedge:          2,
+		DownFor:        50 * time.Millisecond,
+		Registry:       obs.NewRegistry(),
+	}
+}
+
+// keyOwnedBy brute-forces a key string whose ring owner is the wanted node.
+func keyOwnedBy(t *testing.T, c *Cluster, owner string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := "probe-" + strings.Repeat("x", i%7) + time.Duration(i).String()
+		if c.Owner(k) == owner {
+			return k
+		}
+	}
+	t.Fatalf("no key owned by %s found", owner)
+	return ""
+}
+
+func TestClusterConfigNormalization(t *testing.T) {
+	c, err := New(Config{Self: "node-a:9000/", Peers: []string{"http://node-b:9000", " node-a:9000 "}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Self() != "http://node-a:9000" {
+		t.Fatalf("self = %q", c.Self())
+	}
+	if got := c.Peers(); len(got) != 2 {
+		t.Fatalf("peers = %v, want 2 normalized members", got)
+	}
+	if _, err := New(Config{Self: ""}); err == nil {
+		t.Fatal("empty self accepted")
+	}
+	if _, err := New(Config{Self: "a", Peers: nil}); err != nil {
+		t.Fatalf("self-only cluster rejected: %v", err)
+	}
+}
+
+// TestForwardSuccess: a forward reaches the key's owner with the loop-guard
+// header set and returns the peer's body verbatim.
+func TestForwardSuccess(t *testing.T) {
+	var gotHeader atomic.Value
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader.Store(r.Header.Get(ForwardHeader))
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer peer.Close()
+
+	c, err := New(fastConfig("http://self:1", peer.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOwnedBy(t, c, peer.URL)
+	data, from, err := c.Forward(context.Background(), key, "/v1/throughput", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"ok":true}` || from != peer.URL {
+		t.Fatalf("data=%q from=%q", data, from)
+	}
+	if h := gotHeader.Load(); h != "http://self:1" {
+		t.Fatalf("loop-guard header = %v, want origin self URL", h)
+	}
+	if got := c.Metrics().Forwards(peer.URL).Load(); got != 1 {
+		t.Fatalf("forwards counter = %d, want 1", got)
+	}
+}
+
+// TestForwardSelfOwned: when this node owns the key, Forward refuses with
+// ErrSelf instead of sending the request to itself.
+func TestForwardSelfOwned(t *testing.T) {
+	c, err := New(fastConfig("http://self:1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Forward(context.Background(), "anything", "/x", nil); !errors.Is(err, ErrSelf) {
+		t.Fatalf("err = %v, want ErrSelf", err)
+	}
+}
+
+// TestForwardRetriesThenSucceeds: one transient 500 is absorbed by the
+// bounded retry, and the peer is not marked down after recovering.
+func TestForwardRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`ok`))
+	}))
+	defer peer.Close()
+
+	c, err := New(fastConfig("http://self:1", peer.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOwnedBy(t, c, peer.URL)
+	data, _, err := c.Forward(context.Background(), key, "/x", nil)
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("data=%q err=%v", data, err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("peer called %d times, want 2 (fail + retry)", got)
+	}
+	if got := c.Metrics().Retries.Load(); got != 1 {
+		t.Fatalf("retries counter = %d, want 1", got)
+	}
+	if !c.usable(peer.URL) {
+		t.Fatal("recovered peer marked down")
+	}
+}
+
+// TestForwardHedgesToSuccessor: a dead owner is hedged around — the next
+// distinct ring owner serves the request — and the dead peer is marked down
+// so the next forward skips it without paying the connection failure again.
+func TestForwardHedgesToSuccessor(t *testing.T) {
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`from-successor`))
+	}))
+	defer alive.Close()
+	dead := httptest.NewServer(http.HandlerFunc(nil))
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+
+	c, err := New(fastConfig("http://self:1", deadURL, alive.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key whose hedge chain is [dead, alive, ...] so the hedge lands
+	// on the live peer, not on self.
+	key := ""
+	for i := 0; i < 100000 && key == ""; i++ {
+		k := "hedge-" + time.Duration(i).String()
+		if owners := c.ring.Load().Owners(k, 2); owners[0] == deadURL && owners[1] == alive.URL {
+			key = k
+		}
+	}
+	if key == "" {
+		t.Fatal("no key with hedge chain [dead, alive] found")
+	}
+	data, from, err := c.Forward(context.Background(), key, "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "from-successor" || from != alive.URL {
+		t.Fatalf("data=%q from=%q", data, from)
+	}
+	if c.Metrics().Hedges.Load() == 0 {
+		t.Fatal("hedge not counted")
+	}
+	if c.usable(deadURL) {
+		t.Fatal("dead peer not marked down")
+	}
+	if got := c.Metrics().Down(deadURL).Load(); got != 1 {
+		t.Fatalf("down counter = %d, want 1", got)
+	}
+
+	// Second forward: the dead peer is skipped outright (no new attempts
+	// against it), and after DownFor elapses it becomes probe-able again.
+	before := c.Metrics().Forwards(deadURL).Load()
+	if _, _, err := c.Forward(context.Background(), key, "/x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Metrics().Forwards(deadURL).Load(); got != before {
+		t.Fatalf("down peer was attempted again (%d -> %d)", before, got)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !c.usable(deadURL) {
+		t.Fatal("peer still down after cooldown")
+	}
+}
+
+// TestForwardSaturationPropagates: a 429 from the owner is not retried, not
+// hedged, and surfaces as ErrPeerSaturated so the caller sheds too.
+func TestForwardSaturationPropagates(t *testing.T) {
+	var calls atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer peer.Close()
+
+	c, err := New(fastConfig("http://self:1", peer.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOwnedBy(t, c, peer.URL)
+	_, _, err = c.Forward(context.Background(), key, "/x", nil)
+	if !errors.Is(err, ErrPeerSaturated) {
+		t.Fatalf("err = %v, want ErrPeerSaturated", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("peer called %d times, want 1 (no retry of a shed)", got)
+	}
+	if !c.usable(peer.URL) {
+		t.Fatal("saturated peer marked down — sheds are not failures")
+	}
+}
+
+// TestForwardAllDownFallsBack: when every candidate owner is unreachable the
+// forward reports failure (and counts a fallback) so the engine computes
+// locally; when the hedge chain instead bottoms out on this node, the
+// forward reports ErrSelf.
+func TestForwardAllDownFallsBack(t *testing.T) {
+	deadA := httptest.NewServer(http.HandlerFunc(nil))
+	deadB := httptest.NewServer(http.HandlerFunc(nil))
+	urlA, urlB := deadA.URL, deadB.URL
+	deadA.Close()
+	deadB.Close()
+
+	cfg := fastConfig("http://self:1", urlA, urlB)
+	cfg.Hedge = 1 // owner + one hedge: chains of two
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain of two dead peers exhausts without reaching self.
+	var exhaustKey, selfKey string
+	for i := 0; i < 100000 && (exhaustKey == "" || selfKey == ""); i++ {
+		k := "fall-" + time.Duration(i).String()
+		owners := c.ring.Load().Owners(k, 2)
+		switch {
+		case exhaustKey == "" && owners[0] != c.Self() && owners[1] != c.Self():
+			exhaustKey = k
+		case selfKey == "" && owners[0] != c.Self() && owners[1] == c.Self():
+			selfKey = k
+		}
+	}
+	if exhaustKey == "" || selfKey == "" {
+		t.Fatal("no suitable keys found")
+	}
+	_, _, err = c.Forward(context.Background(), exhaustKey, "/x", nil)
+	if err == nil || errors.Is(err, ErrSelf) {
+		t.Fatalf("err = %v, want transport failure", err)
+	}
+	if got := c.Metrics().Fallbacks.Load(); got != 1 {
+		t.Fatalf("fallbacks counter = %d, want 1", got)
+	}
+	if _, _, err := c.Forward(context.Background(), selfKey, "/x", nil); !errors.Is(err, ErrSelf) {
+		t.Fatalf("err = %v, want ErrSelf when the hedge chain reaches this node", err)
+	}
+}
+
+// TestSetPeersRebalances: membership changes swap the ring atomically and
+// refresh the ownership gauges.
+func TestSetPeersRebalances(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := fastConfig("http://self:1", "http://peer-b:1")
+	cfg.Registry = reg
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Metrics().Peers.Load(); got != 2 {
+		t.Fatalf("peers gauge = %d, want 2", got)
+	}
+	c.SetPeers([]string{"http://peer-b:1", "http://peer-c:1"})
+	if got := len(c.Peers()); got != 3 {
+		t.Fatalf("peers = %d, want 3 (self retained)", got)
+	}
+	if got := c.Metrics().Peers.Load(); got != 3 {
+		t.Fatalf("peers gauge = %d, want 3", got)
+	}
+	var share int64
+	for _, p := range c.Peers() {
+		share += c.Metrics().RingShare(p).Load()
+	}
+	if share < 990_000 || share > 1_010_000 {
+		t.Fatalf("ring shares sum to %d ppm, want ~1e6", share)
+	}
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"fmt"
+
+	"beyondft/internal/obs"
+)
+
+// Metrics is the cluster tier's observability surface, registered on the
+// daemon's shared obs.Registry so cluster series appear on the same
+// /metrics endpoint as the serving core's. Per-peer series are created on
+// first use; a nil registry yields nil instruments whose methods are
+// no-ops (obs's convention), so the cluster can run unmetered in tests.
+type Metrics struct {
+	reg *obs.Registry
+
+	Hedges    *obs.Counter // forwards that fell through to a successor owner
+	Retries   *obs.Counter // per-peer retry attempts after a transient failure
+	LoopGuard *obs.Counter // forwarded requests served locally despite not owning the key
+	Fallbacks *obs.Counter // forwards that exhausted all owners and computed locally
+	Peers     *obs.Gauge   // current ring membership size
+}
+
+// NewMetrics returns the cluster metric set over reg (nil disables).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		reg:       reg,
+		Hedges:    reg.Counter("beyondftd_cluster_hedges_total"),
+		Retries:   reg.Counter("beyondftd_cluster_retries_total"),
+		LoopGuard: reg.Counter("beyondftd_cluster_loop_guard_total"),
+		Fallbacks: reg.Counter("beyondftd_cluster_fallbacks_total"),
+		Peers:     reg.Gauge("beyondftd_cluster_peers"),
+	}
+}
+
+// Forwards returns the per-peer forward-attempt counter.
+func (m *Metrics) Forwards(peer string) *obs.Counter {
+	return m.reg.Counter(fmt.Sprintf("beyondftd_cluster_forwards_total{peer=%q}", peer))
+}
+
+// ForwardErrors returns the per-peer failed-forward counter.
+func (m *Metrics) ForwardErrors(peer string) *obs.Counter {
+	return m.reg.Counter(fmt.Sprintf("beyondftd_cluster_forward_errors_total{peer=%q}", peer))
+}
+
+// Down returns the per-peer marked-down counter.
+func (m *Metrics) Down(peer string) *obs.Counter {
+	return m.reg.Counter(fmt.Sprintf("beyondftd_cluster_peer_down_total{peer=%q}", peer))
+}
+
+// RingShare returns the per-peer ring-ownership gauge, in parts per
+// million of the keyspace (gauges are integers).
+func (m *Metrics) RingShare(peer string) *obs.Gauge {
+	return m.reg.Gauge(fmt.Sprintf("beyondftd_cluster_ring_share_ppm{peer=%q}", peer))
+}
+
+// setRing publishes a ring's membership and ownership shares.
+func (m *Metrics) setRing(r *Ring) {
+	m.Peers.Set(int64(len(r.Nodes())))
+	for node, share := range r.Share() {
+		m.RingShare(node).Set(int64(share * 1e6))
+	}
+}

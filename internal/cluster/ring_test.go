@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i) // pointHash re-hashes, so any distinct strings do
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://node%d:8080", i)
+	}
+	return nodes
+}
+
+// TestRingDeterministicPlacement: ownership is a pure function of the
+// membership set — independent of construction order and of which process
+// asks.
+func TestRingDeterministicPlacement(t *testing.T) {
+	nodes := nodeNames(5)
+	r1 := NewRing(nodes, 64)
+	shuffled := []string{nodes[3], nodes[0], nodes[4], nodes[4], nodes[1], nodes[2]} // reordered + duplicate
+	r2 := NewRing(shuffled, 64)
+	for _, k := range testKeys(2048) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("owner of %q depends on construction order: %q vs %q", k, r1.Owner(k), r2.Owner(k))
+		}
+	}
+	if got := len(r1.Nodes()); got != 5 {
+		t.Fatalf("nodes = %d, want 5", got)
+	}
+}
+
+// TestRingBalance: with enough vnodes, every node owns a keyspace share and
+// a key share within a small factor of 1/n.
+func TestRingBalance(t *testing.T) {
+	const n = 5
+	r := NewRing(nodeNames(n), DefaultVNodes)
+
+	shares := r.Share()
+	var total float64
+	for node, s := range shares {
+		total += s
+		if s < 0.4/n || s > 2.5/n {
+			t.Errorf("node %s owns share %.4f, want within [%.4f, %.4f]", node, s, 0.4/n, 2.5/n)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %.12f, want 1", total)
+	}
+
+	counts := map[string]int{}
+	keys := testKeys(20000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for node, cnt := range counts {
+		frac := float64(cnt) / float64(len(keys))
+		if frac < 0.4/n || frac > 2.5/n {
+			t.Errorf("node %s owns %.4f of keys, want near %.4f", node, frac, 1.0/n)
+		}
+	}
+}
+
+// TestRingRebalanceBounds: adding one node to an n-node ring moves roughly
+// 1/(n+1) of the keys — all of them *to* the new node — and removing it
+// moves exactly the keys it owned, to survivors. This is the property that
+// makes membership changes cheap: a fleet of N caches invalidates ~1/N of
+// its working set, not all of it.
+func TestRingRebalanceBounds(t *testing.T) {
+	const n = 5
+	nodes := nodeNames(n + 1)
+	keys := testKeys(20000)
+
+	before := NewRing(nodes[:n], DefaultVNodes)
+	after := NewRing(nodes, DefaultVNodes)
+
+	moved := 0
+	for _, k := range keys {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob != oa {
+			moved++
+			if oa != nodes[n] {
+				t.Fatalf("key %q moved %q -> %q, but only the new node may gain keys", k, ob, oa)
+			}
+		}
+	}
+	ideal := float64(len(keys)) / float64(n+1)
+	if f := float64(moved); f < 0.5*ideal || f > 2.0*ideal {
+		t.Fatalf("adding 1 of %d nodes moved %d keys, want within [%.0f, %.0f] (ideal %.0f)",
+			n+1, moved, 0.5*ideal, 2.0*ideal, ideal)
+	}
+
+	// Removal is the mirror image: only keys owned by the removed node move.
+	for _, k := range keys {
+		oa, ob := after.Owner(k), before.Owner(k)
+		if oa == nodes[n] {
+			continue // re-homed to some survivor, any is fine
+		}
+		if oa != ob {
+			t.Fatalf("key %q owned by surviving %q moved on removal", k, oa)
+		}
+	}
+}
+
+// TestRingOwners: the hedge chain starts at the owner, has no duplicates,
+// and is the same from every node's point of view.
+func TestRingOwners(t *testing.T) {
+	r := NewRing(nodeNames(4), 32)
+	for _, k := range testKeys(256) {
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 3) = %v", k, owners)
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners[0] = %q, Owner = %q", owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner %q in %v", o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	if got := r.Owners("k", 99); len(got) != 4 {
+		t.Fatalf("Owners capped at %d, want 4 (membership size)", len(got))
+	}
+	var empty Ring
+	if empty.Owner("k") != "" || empty.Owners("k", 2) != nil {
+		t.Fatal("empty ring must own nothing")
+	}
+}

@@ -1,0 +1,268 @@
+// The cluster smoke test lives in an external test package so it can drive
+// real serve.Servers: internal/serve imports internal/cluster, so the
+// reverse import is only legal from _test.
+package cluster_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"beyondft/internal/cluster"
+	"beyondft/internal/experiments"
+	"beyondft/internal/serve"
+)
+
+// smokeLine mirrors the serve batch/query envelopes (external package, so
+// redeclared from their JSON shape).
+type smokeLine struct {
+	Index      int             `json:"index,omitempty"`
+	Key        string          `json:"key,omitempty"`
+	Source     string          `json:"source,omitempty"`
+	DurationMs float64         `json:"duration_ms,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Done       *struct {
+		Items  int `json:"items"`
+		Errors int `json:"errors"`
+	} `json:"done,omitempty"`
+}
+
+func newSmokeNode(t *testing.T) *serve.Server {
+	t.Helper()
+	s, err := serve.New(serve.Config{
+		Experiments:    experiments.DefaultConfig(),
+		CacheDir:       t.TempDir(),
+		L1Bytes:        8 << 20,
+		Workers:        2,
+		QueueDepth:     16,
+		RequestTimeout: 30 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func smokeBatch(t *testing.T, base string, lines []string) map[int]smokeLine {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/batch", "application/x-ndjson",
+		strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	if err != nil {
+		t.Fatalf("POST %s/v1/batch: %v", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	out := map[int]smokeLine{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	sawDone := false
+	for sc.Scan() {
+		var line smokeLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("decode %q: %v", sc.Bytes(), err)
+		}
+		if line.Done != nil {
+			if line.Done.Errors != 0 {
+				t.Fatalf("batch finished with %d errors", line.Done.Errors)
+			}
+			if line.Done.Items != len(lines) {
+				t.Fatalf("batch saw %d items, want %d", line.Done.Items, len(lines))
+			}
+			sawDone = true
+			continue
+		}
+		if line.Error != "" {
+			t.Fatalf("batch line %d error: %s", line.Index, line.Error)
+		}
+		out[line.Index] = line
+	}
+	if err := sc.Err(); err != nil || !sawDone {
+		t.Fatalf("stream truncated (err=%v done=%v)", err, sawDone)
+	}
+	if len(out) != len(lines) {
+		t.Fatalf("got %d result lines, want %d", len(out), len(lines))
+	}
+	return out
+}
+
+func smokeQuery(t *testing.T, base, path, body string) smokeLine {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s%s: %v", base, path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s%s: status %d: %s", base, path, resp.StatusCode, data)
+	}
+	var line smokeLine
+	if err := json.Unmarshal(data, &line); err != nil {
+		t.Fatalf("decode %q: %v", data, err)
+	}
+	return line
+}
+
+// TestClusterSmoke is the end-to-end acceptance check of the cluster tier:
+// three nodes share one consistent-hash ring, a mixed query/batch workload
+// runs against different nodes, one node is killed mid-run, and the cluster
+// still serves every spec with results byte-identical to a standalone node,
+// at least one peer cache fill, and no spec computed more than once
+// fleet-wide (per each node's /metrics computed counter).
+func TestClusterSmoke(t *testing.T) {
+	// Spec set A (phase 1) and B (post-kill phase 2). GK solves are
+	// bit-identical at any worker count, so recomputation anywhere in the
+	// fleet must reproduce the reference node's bytes exactly.
+	var linesA, linesB []string
+	for seed := 1; seed <= 12; seed++ {
+		linesA = append(linesA, fmt.Sprintf(
+			`{"kind":"throughput","spec":{"topo":{"kind":"jellyfish","n":12,"degree":3,"servers":2},"tm":"permutation","x":0.5,"seed":%d}}`, seed))
+	}
+	linesA = append(linesA,
+		`{"kind":"pathstats","spec":{"topo":{"kind":"xpander","degree":4,"lift":5,"servers":3}}}`,
+		`{"kind":"pathstats","spec":{"topo":{"kind":"fattree","k":4}}}`,
+		`{"kind":"pathstats","spec":{"topo":{"kind":"jellyfish","n":16,"degree":4,"servers":2}}}`,
+	)
+	for seed := 101; seed <= 108; seed++ {
+		linesB = append(linesB, fmt.Sprintf(
+			`{"kind":"throughput","spec":{"topo":{"kind":"jellyfish","n":12,"degree":3,"servers":2},"tm":"permutation","x":0.5,"seed":%d}}`, seed))
+	}
+
+	// Reference: one standalone node computes everything itself.
+	ref := newSmokeNode(t)
+	defer ref.Shutdown(context.Background())
+	refBase := "http://" + ref.Addr()
+	refA := smokeBatch(t, refBase, linesA)
+	refB := smokeBatch(t, refBase, linesB)
+
+	// The cluster: three nodes, one shared ring.
+	nodes := make([]*serve.Server, 3)
+	bases := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = newSmokeNode(t)
+		bases[i] = "http://" + nodes[i].Addr()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Shutdown(context.Background())
+		}
+	}()
+	for i, n := range nodes {
+		cl, err := cluster.New(cluster.Config{
+			Self:           bases[i],
+			Peers:          bases,
+			ForwardTimeout: 10 * time.Second,
+			Backoff:        2 * time.Millisecond,
+			DownFor:        100 * time.Millisecond,
+			Registry:       n.Metrics().Registry(),
+			Logf:           t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.EnableCluster(cl)
+	}
+
+	// Phase 1: the full A batch against node 0, with concurrent duplicate
+	// single queries against nodes 1 and 2 — the mixed workload. Exactly-once
+	// must hold across all of it.
+	var wg sync.WaitGroup
+	var gotA map[int]smokeLine
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gotA = smokeBatch(t, bases[0], linesA)
+	}()
+	dupResults := make([]smokeLine, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"topo":{"kind":"jellyfish","n":12,"degree":3,"servers":2},"tm":"permutation","x":0.5,"seed":%d}`, i+1)
+			dupResults[i] = smokeQuery(t, bases[1+i%2], "/v1/throughput", body)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range linesA {
+		if string(gotA[i].Result) != string(refA[i].Result) {
+			t.Fatalf("phase 1 line %d differs from standalone reference:\n got %s\nwant %s", i, gotA[i].Result, refA[i].Result)
+		}
+	}
+	for i, d := range dupResults {
+		if string(d.Result) != string(refA[i].Result) {
+			t.Fatalf("duplicate query %d differs from reference", i)
+		}
+	}
+	computedAt := func(n *serve.Server) int64 { return n.Metrics().Computed.Load() }
+	phase1Computed := computedAt(nodes[0]) + computedAt(nodes[1]) + computedAt(nodes[2])
+	if phase1Computed != int64(len(linesA)) {
+		t.Fatalf("phase 1 computed %d specs fleet-wide, want exactly %d (duplicate computes!)", phase1Computed, len(linesA))
+	}
+	fills := nodes[0].Metrics().PeerFills.Load() + nodes[1].Metrics().PeerFills.Load() + nodes[2].Metrics().PeerFills.Load()
+	if fills == 0 {
+		t.Fatal("no peer cache fills in a 3-node run")
+	}
+
+	// Kill node 1 mid-run: readiness flips first, then the listener dies.
+	nodes[1].StartDrain()
+	if resp, err := http.Get(bases[1] + "/readyz"); err == nil {
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("draining node readyz = %d, want 503", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	deadComputed := computedAt(nodes[1])
+	if err := nodes[1].Shutdown(context.Background()); err != nil {
+		t.Fatalf("kill node 1: %v", err)
+	}
+
+	// Phase 2: fresh specs B plus all of A again, through node 0. The dead
+	// node's share of B re-homes to live owners; A is already cached
+	// fleet-wide (node 0 requested every A spec in phase 1, so its L1 holds
+	// them all) and must not recompute.
+	phase2 := append(append([]string{}, linesB...), linesA...)
+	got2 := smokeBatch(t, bases[0], phase2)
+	for i := range linesB {
+		if string(got2[i].Result) != string(refB[i].Result) {
+			t.Fatalf("phase 2 B line %d differs from reference", i)
+		}
+	}
+	for i := range linesA {
+		if string(got2[len(linesB)+i].Result) != string(refA[i].Result) {
+			t.Fatalf("phase 2 A line %d differs from reference", i)
+		}
+	}
+
+	totalComputed := computedAt(nodes[0]) + deadComputed + computedAt(nodes[2])
+	if want := int64(len(linesA) + len(linesB)); totalComputed != want {
+		t.Fatalf("fleet computed %d specs total, want exactly %d (a spec was computed twice)", totalComputed, want)
+	}
+
+	// The survivors' /metrics expose the cluster counters.
+	resp, err := http.Get(bases[0] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"beyondftd_peer_fills_total", "beyondftd_cluster_peers 3", "beyondftd_cluster_ring_share_ppm"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("node 0 /metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionOverflowOrdering: when all slots are busy and the queue is
+// full, a newcomer is shed immediately — it must not displace or starve the
+// request already queued, which gets the slot the moment one frees.
+func TestAdmissionOverflowOrdering(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	queuedErr := make(chan error, 1)
+	go func() { queuedErr <- a.acquire(context.Background()) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for a.queued.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full: the third request is rejected fast, not enqueued behind
+	// the second.
+	start := time.Now()
+	if err := a.acquire(context.Background()); err != errSaturated {
+		t.Fatalf("overflow acquire err = %v, want errSaturated", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("overflow rejection took %s, want fast-fail", d)
+	}
+	select {
+	case err := <-queuedErr:
+		t.Fatalf("queued request resolved early: %v", err)
+	default:
+	}
+
+	a.release()
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued request err = %v, want the freed slot", err)
+	}
+	a.release()
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after drain-down: %v", err)
+	}
+}
+
+// TestAdmissionDeadlineWhileQueued: a request whose deadline expires while
+// waiting in the queue returns ctx.Err() and releases its queue position —
+// otherwise expired waiters would pin the queue full and turn every later
+// request into a 429.
+func TestAdmissionDeadlineWhileQueued(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire err = %v, want DeadlineExceeded", err)
+	}
+	if got := a.queued.Load(); got != 0 {
+		t.Fatalf("queued = %d after expiry, want 0 (position leaked)", got)
+	}
+
+	// The vacated queue position is usable again.
+	ok := make(chan error, 1)
+	go func() { ok <- a.acquire(context.Background()) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for a.queued.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("replacement request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.release()
+	if err := <-ok; err != nil {
+		t.Fatalf("replacement acquire: %v", err)
+	}
+}
+
+// TestServeDrainWhileQueued: a request waiting in the admission queue when
+// Shutdown begins is not dropped — drain means "finish what was accepted",
+// and an accepted-but-queued request was accepted.
+func TestServeDrainWhileQueued(t *testing.T) {
+	cfg := testConfig(t, t.TempDir())
+	cfg.Workers = 1
+	cfg.QueueDepth = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	entered := make(chan string, 1)
+	s.engine.computeStarted = func(key string) {
+		entered <- key
+		<-release
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	post := func(body string, out chan<- int) {
+		resp, err := client.Post(base+"/v1/throughput", "application/json", strings.NewReader(body))
+		if err != nil {
+			out <- -1
+			return
+		}
+		defer resp.Body.Close()
+		var qr queryResponse
+		json.NewDecoder(resp.Body).Decode(&qr)
+		out <- resp.StatusCode
+	}
+
+	first := make(chan int, 1)
+	go post(smallThroughputBody, first)
+	<-entered // first request holds the only compute slot
+
+	// Second (distinct) request lands in the admission queue behind it.
+	second := make(chan int, 1)
+	go post(`{"topo":{"kind":"jellyfish","n":14,"degree":3,"servers":2}}`, second)
+	deadline := time.Now().Add(10 * time.Second)
+	for s.engine.adm.queued.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.StartDrain()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Give the drain a moment to start, then let computes run. Both the
+	// in-flight and the queued request must complete with 200.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case code := <-second:
+		t.Fatalf("queued request resolved during drain with %d before slot freed", code)
+	default:
+	}
+	close(release)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("in-flight request: code=%d, want 200", code)
+	}
+	if code := <-second; code != http.StatusOK {
+		t.Fatalf("queued request: code=%d, want 200 (dropped by drain)", code)
+	}
+	wg.Wait()
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestServeReadyz: ready while serving, 503 the moment draining starts,
+// while /healthz keeps reporting the process alive.
+func TestServeReadyz(t *testing.T) {
+	s, err := New(testConfig(t, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 512)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, `"ready":true`) {
+		t.Fatalf("readyz before drain: code=%d body=%s", code, body)
+	}
+	s.StartDrain()
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, `"draining":true`) {
+		t.Fatalf("readyz during drain: code=%d body=%s", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz during drain: code=%d, want 200 (alive, just not ready)", code)
+	}
+}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// POST /v1/batch: evaluate many specs over one connection, NDJSON in and
+// NDJSON out. Each request line is a batchItem; each response line is a
+// batchLine carrying the item's index (results stream in completion order,
+// not input order), so thousands of specs cost one connection instead of
+// thousands, while every item still runs through the full serving core —
+// caches, singleflight, cluster forwarding, and admission control.
+//
+// Backpressure: items rejected by admission (local or the ring owner's) are
+// retried with backoff for as long as the batch connection lives, instead
+// of surfacing per-item 429s — a batch is a willing-to-wait workload, and
+// the bounded worker pool here feeds the engine no faster than its
+// admission queue drains.
+
+// maxBatchItems bounds one batch request; beyond it the stream errors out.
+const maxBatchItems = 100_000
+
+// maxBatchLine bounds one NDJSON input line (a spec is a few hundred bytes).
+const maxBatchLine = 1 << 20
+
+// batchSaturatedBackoff is the initial retry sleep for an admission-rejected
+// item, doubling up to batchSaturatedBackoffMax.
+const (
+	batchSaturatedBackoff    = 10 * time.Millisecond
+	batchSaturatedBackoffMax = 500 * time.Millisecond
+)
+
+// batchItem is one input line of POST /v1/batch.
+type batchItem struct {
+	// Kind selects the query type: throughput | pathstats | whatif | job.
+	Kind string `json:"kind"`
+	// Name is the registry job to run (kind=job only).
+	Name string `json:"name,omitempty"`
+	// Spec is the query body, identical to the corresponding /v1 endpoint's
+	// request body (kind=throughput|pathstats|whatif).
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// batchLine is one output line: a result or an error for input line Index,
+// or the terminal summary (exactly one of Result/Error/Done is set).
+type batchLine struct {
+	Index      *int            `json:"index,omitempty"`
+	Key        string          `json:"key,omitempty"`
+	Source     Source          `json:"source,omitempty"`
+	DurationMs float64         `json:"duration_ms,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Done       *batchSummary   `json:"done,omitempty"`
+}
+
+// batchIndex boxes a line index: the summary line has none, and a plain
+// int with omitempty would silently drop index 0 from the first line.
+func batchIndex(i int) *int { return &i }
+
+// batchSummary is the terminal line of a batch stream.
+type batchSummary struct {
+	Items  int `json:"items"`
+	Errors int `json:"errors"`
+}
+
+// batchQuery is an item resolved to engine inputs.
+type batchQuery struct {
+	name    string
+	spec    string
+	salt    string
+	fwd     *forward
+	compute func(context.Context) (json.RawMessage, error)
+}
+
+// resolveBatchItem turns an input line into engine inputs, mirroring the
+// corresponding single-query handler's decode + normalize path.
+func (s *Server) resolveBatchItem(it batchItem) (*batchQuery, error) {
+	strict := func(v any) error {
+		dec := json.NewDecoder(bytes.NewReader(it.Spec))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			return fmt.Errorf("decode %s spec: %w", it.Kind, err)
+		}
+		return nil
+	}
+	switch it.Kind {
+	case "throughput":
+		var req ThroughputRequest
+		if err := strict(&req); err != nil {
+			return nil, err
+		}
+		if err := req.normalize(); err != nil {
+			return nil, err
+		}
+		req.metrics = s.metrics
+		spec := req.spec()
+		return &batchQuery{"v1/throughput", spec, CodeSalt,
+			&forward{path: "/v1/throughput", body: []byte(spec)}, req.run}, nil
+	case "pathstats":
+		var req PathStatsRequest
+		if err := strict(&req); err != nil {
+			return nil, err
+		}
+		if err := req.normalize(); err != nil {
+			return nil, err
+		}
+		spec := req.spec()
+		return &batchQuery{"v1/pathstats", spec, CodeSalt,
+			&forward{path: "/v1/pathstats", body: []byte(spec)}, req.run}, nil
+	case "whatif":
+		var req WhatifRequest
+		if err := strict(&req); err != nil {
+			return nil, err
+		}
+		if err := req.normalize(); err != nil {
+			return nil, err
+		}
+		req.metrics = s.metrics
+		req.wm = s.whatifMetrics
+		req.cache = s.engine.l2
+		spec := req.spec()
+		return &batchQuery{"v1/whatif", spec, CodeSalt,
+			&forward{path: "/v1/whatif", body: []byte(spec)}, req.run}, nil
+	case "job":
+		job, ok := s.reg.Lookup(it.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown job %q (see GET /v1/jobs)", it.Name)
+		}
+		fwd, salt, compute := s.jobQuery(job)
+		return &batchQuery{job.Name, job.Spec, salt, fwd, compute}, nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want throughput|pathstats|whatif|job)", it.Kind)
+	}
+}
+
+// handleBatch streams results for an NDJSON stream of specs. The bounded
+// worker pool keeps this one connection from monopolizing the engine while
+// still overlapping forwards, cache probes, and computes.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var encMu sync.Mutex
+	enc := json.NewEncoder(w)
+	var errCount int
+	emit := func(line batchLine) {
+		encMu.Lock()
+		defer encMu.Unlock()
+		if line.Error != "" {
+			errCount++
+			s.metrics.Errors.Add(1)
+		}
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	workers := 2*s.cfg.Workers + 2
+	if workers < 4 {
+		workers = 4
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	items := 0
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxBatchLine)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		if items >= maxBatchItems {
+			emit(batchLine{Index: batchIndex(items), Error: fmt.Sprintf("batch exceeds %d items", maxBatchItems)})
+			break
+		}
+		idx := items
+		items++
+		s.metrics.BatchItems.Add(1)
+		var it batchItem
+		if err := json.Unmarshal(raw, &it); err != nil {
+			emit(batchLine{Index: batchIndex(idx), Error: fmt.Sprintf("decode line: %v", err)})
+			continue
+		}
+		q, err := s.resolveBatchItem(it)
+		if err != nil {
+			emit(batchLine{Index: batchIndex(idx), Error: err.Error()})
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			emit(s.runBatchQuery(r, idx, q))
+		}()
+	}
+	if err := sc.Err(); err != nil {
+		emit(batchLine{Index: batchIndex(items), Error: fmt.Sprintf("read batch body: %v", err)})
+	}
+	wg.Wait()
+	emit(batchLine{Done: &batchSummary{Items: items, Errors: errCount}})
+}
+
+// runBatchQuery runs one resolved item through the engine, retrying
+// admission rejections (local and peer) with backoff while the batch
+// connection lives. Each attempt gets its own RequestTimeout deadline.
+func (s *Server) runBatchQuery(r *http.Request, idx int, q *batchQuery) batchLine {
+	start := time.Now()
+	backoff := batchSaturatedBackoff
+	for {
+		ctx, cancel := s.requestCtx(r)
+		data, key, src, err := s.engine.DoRemote(ctx, q.name, q.spec, q.salt,
+			s.remoteFunc(r, q.fwd, q.name, q.spec, q.salt), q.compute)
+		cancel()
+		if err == nil {
+			return batchLine{
+				Index:      batchIndex(idx),
+				Key:        key,
+				Source:     src,
+				DurationMs: float64(time.Since(start)) / float64(time.Millisecond),
+				Result:     data,
+			}
+		}
+		if !errors.Is(err, errSaturated) || r.Context().Err() != nil {
+			return batchLine{Index: batchIndex(idx), Error: err.Error()}
+		}
+		select {
+		case <-time.After(backoff):
+			if backoff *= 2; backoff > batchSaturatedBackoffMax {
+				backoff = batchSaturatedBackoffMax
+			}
+		case <-r.Context().Done():
+			return batchLine{Index: batchIndex(idx), Error: "batch canceled while retrying saturated item"}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postBatch posts NDJSON lines to /v1/batch and returns the decoded stream:
+// result/error lines keyed by index, plus the terminal summary.
+func postBatch(t *testing.T, url string, lines ...string) (map[int]batchLine, batchSummary) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/batch", "application/x-ndjson",
+		strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	if err != nil {
+		t.Fatalf("POST /v1/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("batch content-type = %q", ct)
+	}
+	out := map[int]batchLine{}
+	var done *batchSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		var line batchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("decode line %q: %v", sc.Bytes(), err)
+		}
+		if line.Done != nil {
+			if done != nil {
+				t.Fatal("two done lines")
+			}
+			if line.Index != nil {
+				t.Fatalf("done line carries an index: %s", sc.Bytes())
+			}
+			done = line.Done
+			continue
+		}
+		if line.Index == nil {
+			t.Fatalf("result line without an index: %s", sc.Bytes())
+		}
+		if _, dup := out[*line.Index]; dup {
+			t.Fatalf("two lines for index %d", *line.Index)
+		}
+		out[*line.Index] = line
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	if done == nil {
+		t.Fatal("stream ended without a done line")
+	}
+	return out, *done
+}
+
+// TestServeBatchMixed: one batch mixing kinds, duplicates, and malformed
+// lines. Every line gets exactly one indexed response, duplicates share a
+// compute through the engine, and the summary tallies it all.
+func TestServeBatchMixed(t *testing.T) {
+	s, err := New(testConfig(t, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	tp := `{"kind":"throughput","spec":` + smallThroughputBody + `}`
+	lines := []string{
+		tp,
+		`{"kind":"pathstats","spec":{"topo":{"kind":"xpander","degree":4,"lift":5,"servers":3}}}`,
+		tp, // duplicate of line 0: must not compute twice
+		`{"kind":"job","name":"nosuchjob"}`,
+		`{"kind":"disco-ball"}`,
+		`{"kind":"throughput","spec":{"topo":{"kind":"moebius"}}}`,
+		`not json at all`,
+	}
+	out, done := postBatch(t, ts.URL, lines...)
+
+	if done.Items != len(lines) || done.Errors != 4 {
+		t.Fatalf("summary = %+v, want %d items / 4 errors", done, len(lines))
+	}
+	if len(out) != len(lines) {
+		t.Fatalf("got %d lines, want %d", len(out), len(lines))
+	}
+	for _, idx := range []int{0, 1, 2} {
+		if out[idx].Error != "" || len(out[idx].Result) == 0 {
+			t.Fatalf("line %d: %+v, want a result", idx, out[idx])
+		}
+	}
+	if out[0].Key != out[2].Key || string(out[0].Result) != string(out[2].Result) {
+		t.Fatal("duplicate lines produced different results")
+	}
+	var res ThroughputResult
+	if err := json.Unmarshal(out[0].Result, &res); err != nil || res.Switches != 12 {
+		t.Fatalf("implausible throughput result %s (%v)", out[0].Result, err)
+	}
+	for idx, wantSub := range map[int]string{
+		3: "unknown job",
+		4: "unknown kind",
+		5: "unknown topology kind",
+		6: "decode line",
+	} {
+		if !strings.Contains(out[idx].Error, wantSub) {
+			t.Errorf("line %d error = %q, want containing %q", idx, out[idx].Error, wantSub)
+		}
+	}
+	if got := s.metrics.Computed.Load(); got != 2 {
+		t.Fatalf("computed = %d, want 2 (throughput once + pathstats)", got)
+	}
+	if got := s.metrics.BatchItems.Load(); got != int64(len(lines)) {
+		t.Fatalf("batch items counter = %d, want %d", got, len(lines))
+	}
+}
+
+// TestServeBatchRetriesSaturation: a batch item that hits a full admission
+// queue waits and retries instead of surfacing a per-item 429 — the batch
+// endpoint is a willing-to-wait workload.
+func TestServeBatchRetriesSaturation(t *testing.T) {
+	cfg := testConfig(t, t.TempDir())
+	cfg.Workers = 1
+	cfg.QueueDepth = 0
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan string, 2)
+	release := make(chan struct{})
+	s.engine.computeStarted = func(key string) {
+		entered <- key
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Hold the only compute slot via a direct engine call.
+	blockerDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := s.engine.Do(context.Background(), "blocker", `{}`, "s",
+			func(context.Context) (json.RawMessage, error) { return json.RawMessage(`{}`), nil })
+		blockerDone <- err
+	}()
+	<-entered
+
+	batchDone := make(chan struct{})
+	var out map[int]batchLine
+	var done batchSummary
+	go func() {
+		defer close(batchDone)
+		out, done = postBatch(t, ts.URL, `{"kind":"throughput","spec":`+smallThroughputBody+`}`)
+	}()
+
+	// The item must be cycling through saturated retries, not failing.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.metrics.Rejected.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch item never hit admission rejection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-batchDone:
+		t.Fatal("batch finished while the slot was still held")
+	default:
+	}
+
+	close(release)
+	if err := <-blockerDone; err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	<-batchDone
+	if done.Items != 1 || done.Errors != 0 {
+		t.Fatalf("summary = %+v, want 1 item / 0 errors", done)
+	}
+	if out[0].Error != "" || len(out[0].Result) == 0 {
+		t.Fatalf("line 0 = %+v, want a result after retrying", out[0])
+	}
+}

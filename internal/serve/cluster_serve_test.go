@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"beyondft/internal/cluster"
+	"beyondft/internal/harness"
+)
+
+// clusterPair boots two engine-backed servers joined into one ring, with
+// fast failure timings. Returns the servers and their base URLs.
+func clusterPair(t *testing.T) (sA, sB *Server, urlA, urlB string) {
+	t.Helper()
+	var err error
+	if sA, err = New(testConfig(t, t.TempDir())); err != nil {
+		t.Fatal(err)
+	}
+	if sB, err = New(testConfig(t, t.TempDir())); err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(sA.Handler())
+	t.Cleanup(tsA.Close)
+	tsB := httptest.NewServer(sB.Handler())
+	t.Cleanup(tsB.Close)
+	urlA, urlB = tsA.URL, tsB.URL
+	peers := []string{urlA, urlB}
+	mkCluster := func(self string, s *Server) *cluster.Cluster {
+		cl, err := cluster.New(cluster.Config{
+			Self: self, Peers: peers,
+			ForwardTimeout: 5 * time.Second,
+			Backoff:        time.Millisecond,
+			DownFor:        50 * time.Millisecond,
+			Registry:       s.Metrics().Registry(),
+			Logf:           t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	sA.EnableCluster(mkCluster(urlA, sA))
+	sB.EnableCluster(mkCluster(urlB, sB))
+	return sA, sB, urlA, urlB
+}
+
+// throughputSpecOwnedBy searches seeds for a canonical throughput spec whose
+// cache key lands on the wanted ring owner.
+func throughputSpecOwnedBy(t *testing.T, cl *cluster.Cluster, owner string) (body, spec string) {
+	t.Helper()
+	for seed := int64(1); seed < 10000; seed++ {
+		req := ThroughputRequest{TM: "permutation", X: 0.5, Seed: seed}
+		req.Topo = TopoSpec{Kind: "jellyfish", N: 12, Degree: 3, Servers: 2}
+		if err := req.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		spec := req.spec()
+		if cl.Owner(harness.Key("v1/throughput", spec, CodeSalt)) == owner {
+			return fmt.Sprintf(`{"topo":{"kind":"jellyfish","n":12,"degree":3,"servers":2},"tm":"permutation","x":0.5,"seed":%d}`, seed), spec
+		}
+	}
+	t.Fatalf("no spec owned by %s found", owner)
+	return "", ""
+}
+
+// TestServeClusterForwardAndFill: a query for a key another node owns is
+// forwarded there, computed once, served back as source=peer, and filled
+// into the requester's caches so the rerun is a local L1 hit.
+func TestServeClusterForwardAndFill(t *testing.T) {
+	sA, sB, _, urlB := clusterPair(t)
+	body, _ := throughputSpecOwnedBy(t, sA.Cluster(), urlB)
+
+	qr, code := postJSON(t, sA.Cluster().Self()+"/v1/throughput", body)
+	if code != http.StatusOK || qr.Source != SourcePeer {
+		t.Fatalf("forwarded query: code=%d source=%q, want 200 peer", code, qr.Source)
+	}
+	if got := sB.Metrics().Computed.Load(); got != 1 {
+		t.Fatalf("owner computed = %d, want 1", got)
+	}
+	if got := sA.Metrics().Computed.Load(); got != 0 {
+		t.Fatalf("requester computed = %d, want 0", got)
+	}
+	if got := sA.Metrics().PeerFills.Load(); got != 1 {
+		t.Fatalf("peer fills = %d, want 1", got)
+	}
+
+	// The fill made the rerun local.
+	qr2, code := postJSON(t, sA.Cluster().Self()+"/v1/throughput", body)
+	if code != http.StatusOK || qr2.Source != SourceL1 {
+		t.Fatalf("rerun: code=%d source=%q, want l1", code, qr2.Source)
+	}
+	if qr2.Key != qr.Key || string(qr2.Result) != string(qr.Result) {
+		t.Fatal("filled bytes differ from forwarded bytes")
+	}
+
+	// The owner serves the same spec from its own cache, byte-identically.
+	qr3, code := postJSON(t, urlB+"/v1/throughput", body)
+	if code != http.StatusOK || string(qr3.Result) != string(qr.Result) {
+		t.Fatalf("owner rerun: code=%d, bytes differ", code)
+	}
+}
+
+// TestServeClusterLoopGuard: a request arriving with the forwarded header
+// is served locally even when the ring says another node owns it — one hop
+// maximum, whatever the membership views are.
+func TestServeClusterLoopGuard(t *testing.T) {
+	sA, sB, urlA, urlB := clusterPair(t)
+	body, _ := throughputSpecOwnedBy(t, sA.Cluster(), urlB)
+
+	req, err := http.NewRequest(http.MethodPost, urlA+"/v1/throughput", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.ForwardHeader, "http://some-third-node:1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || qr.Source != SourceComputed {
+		t.Fatalf("forwarded-in request: code=%d source=%q, want 200 computed locally", resp.StatusCode, qr.Source)
+	}
+	if got := sA.Metrics().Computed.Load(); got != 1 {
+		t.Fatalf("node A computed = %d, want 1 (no second hop)", got)
+	}
+	if got := sB.Metrics().Computed.Load(); got != 0 {
+		t.Fatalf("node B computed = %d, want 0", got)
+	}
+	if got := sA.Cluster().Metrics().LoopGuard.Load(); got != 1 {
+		t.Fatalf("loop-guard counter = %d, want 1", got)
+	}
+}
+
+// TestServeClusterOwnerDownFallsBack: when the key's owner is unreachable
+// and the hedge chain bottoms out on this node, the request is computed
+// locally — availability over strict ownership.
+func TestServeClusterOwnerDownFallsBack(t *testing.T) {
+	sA, _, _, urlB := clusterPair(t)
+	body, _ := throughputSpecOwnedBy(t, sA.Cluster(), urlB)
+
+	// Point A's ring at a dead address for B (simulates B crashing without
+	// a membership update).
+	deadB := httptest.NewServer(http.HandlerFunc(nil))
+	dead := deadB.URL
+	deadB.Close()
+	// Rebuild A's cluster with the dead peer substituted, keeping the same
+	// key→owner shape only if the URL hashes identically — it won't, so
+	// instead find a spec owned by the dead node on the new ring.
+	cl, err := cluster.New(cluster.Config{
+		Self: sA.Cluster().Self(), Peers: []string{sA.Cluster().Self(), dead},
+		ForwardTimeout: time.Second,
+		Backoff:        time.Millisecond,
+		DownFor:        50 * time.Millisecond,
+		Registry:       sA.Metrics().Registry(),
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA.EnableCluster(cl)
+	body, _ = throughputSpecOwnedBy(t, cl, dead)
+
+	qr, code := postJSON(t, cl.Self()+"/v1/throughput", body)
+	if code != http.StatusOK || qr.Source != SourceComputed {
+		t.Fatalf("fallback query: code=%d source=%q, want 200 computed", code, qr.Source)
+	}
+	if got := sA.Metrics().Computed.Load(); got != 1 {
+		t.Fatalf("computed = %d, want 1", got)
+	}
+}

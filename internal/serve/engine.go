@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync/atomic"
@@ -25,6 +26,9 @@ const (
 	// SourceCoalesced — served by joining an identical concurrent request's
 	// compute.
 	SourceCoalesced Source = "coalesced"
+	// SourcePeer — fetched from the key's ring owner (cluster tier) and
+	// filled into the local caches.
+	SourcePeer Source = "peer"
 )
 
 // l2PruneEvery is how many fresh results land in the disk tier between
@@ -110,12 +114,35 @@ func (e *Engine) Metrics() *Metrics { return e.metrics }
 // L1Stats exposes the memory tier's occupancy for /healthz.
 func (e *Engine) L1Stats() harness.LRUStats { return e.l1.Stats() }
 
+// RemoteFunc fetches a result from elsewhere in the fleet (the cluster
+// tier's forward-to-owner path). Returning (nil, nil) means "not served
+// remotely — compute locally". Returned data is authoritative: it is
+// filled into the local cache tiers (peer fill) so the fleet warms from one
+// compute. An error wrapping errSaturated aborts the request (the owner
+// shed it); any other error falls back to local compute.
+type RemoteFunc func(ctx context.Context) (json.RawMessage, error)
+
 // Do returns the encoded result for the (name, spec, salt) triple,
 // computing it with compute only if no tier has it and no identical request
 // is already computing it. The returned key is the content address
 // (harness.Key) the result is stored under; src says which tier answered.
 // The returned bytes are shared with the cache and must not be mutated.
 func (e *Engine) Do(ctx context.Context, name, spec, salt string,
+	compute func(context.Context) (json.RawMessage, error)) (data json.RawMessage, key string, src Source, err error) {
+	return e.DoRemote(ctx, name, spec, salt, nil, compute)
+}
+
+// DoRemote is Do with an optional remote stage between the cache probes and
+// local compute: when this node is not the key's ring owner, remote
+// forwards to the owner instead of computing, making the singleflight
+// cluster-wide (the local flightGroup collapses identical local requests
+// into one forward; the owner's flightGroup collapses forwards from every
+// node into one compute).
+//
+// The work runs detached from ctx: if this caller's context expires, the
+// flight keeps going for any joiners still listening and is canceled only
+// when the last participant leaves (see flightGroup).
+func (e *Engine) DoRemote(ctx context.Context, name, spec, salt string, remote RemoteFunc,
 	compute func(context.Context) (json.RawMessage, error)) (data json.RawMessage, key string, src Source, err error) {
 	sp := obs.SpanFromContext(ctx)
 	key = harness.Key(name, spec, salt)
@@ -138,22 +165,39 @@ func (e *Engine) Do(ctx context.Context, name, spec, salt string,
 			}
 			return c.data, key, SourceCoalesced, nil
 		case <-ctx.Done():
-			// This waiter's deadline expired; the leader keeps computing
+			// This waiter's deadline expired; the flight keeps computing
 			// for whoever is still listening, and the result still lands
 			// in the caches.
+			e.flights.drop(c)
 			return nil, key, "", ctx.Err()
 		}
 	}
-	c.data, c.src, c.err = e.lookupOrCompute(ctx, sp, key, name, spec, salt, compute)
-	e.flights.finish(key, c)
-	return c.data, key, c.src, c.err
+	// Leader: launch the work detached from this request's context, then
+	// wait like any other participant. WithoutCancel keeps context values
+	// (pprof labels, spans) but drops the request's cancellation and
+	// deadline; the flight's refcount supplies cancellation instead.
+	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	e.flights.setCancel(c, cancel)
+	go func() {
+		defer cancel()
+		c.data, c.src, c.err = e.lookupOrCompute(cctx, sp, key, name, spec, salt, remote, compute)
+		e.flights.finish(key, c)
+	}()
+	select {
+	case <-c.done:
+		return c.data, key, c.src, c.err
+	case <-ctx.Done():
+		e.flights.drop(c)
+		return nil, key, "", ctx.Err()
+	}
 }
 
-// lookupOrCompute is the leader's path: disk tier, then admission-gated
-// compute, storing fresh results into both tiers. Stage spans hang off sp
-// (nil when the request is untraced) and the compute runs under pprof
-// labels so CPU profiles attribute samples to the endpoint.
-func (e *Engine) lookupOrCompute(ctx context.Context, sp *obs.Span, key, name, spec, salt string,
+// lookupOrCompute is the flight's work: disk tier, then (off-owner) the
+// remote forward, then admission-gated local compute, storing fresh results
+// into both tiers. Stage spans hang off sp (nil when the request is
+// untraced) and the compute runs under pprof labels so CPU profiles
+// attribute samples to the endpoint.
+func (e *Engine) lookupOrCompute(ctx context.Context, sp *obs.Span, key, name, spec, salt string, remote RemoteFunc,
 	compute func(context.Context) (json.RawMessage, error)) (json.RawMessage, Source, error) {
 	if e.l2 != nil {
 		l2sp := sp.Child("l2-probe")
@@ -166,6 +210,30 @@ func (e *Engine) lookupOrCompute(ctx context.Context, sp *obs.Span, key, name, s
 			e.metrics.L2Hits.Add(1)
 			e.l1.Put(key, data)
 			return data, SourceL2, nil
+		}
+	}
+	if remote != nil {
+		fwdSp := sp.Child("peer-forward")
+		data, err := remote(ctx)
+		fwdSp.End()
+		if err == nil && data != nil {
+			e.metrics.PeerHits.Add(1)
+			e.fill(key, name, spec, salt, data)
+			return data, SourcePeer, nil
+		}
+		if err != nil {
+			if errors.Is(err, errSaturated) {
+				// The owner shed the request: propagate the shed instead of
+				// absorbing the fleet's overload locally.
+				e.metrics.Rejected.Add(1)
+				return nil, "", err
+			}
+			if e.logf != nil && ctx.Err() == nil {
+				e.logf("serve: peer forward key=%.12s…: %v (computing locally)", key, err)
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, "", ctx.Err()
 		}
 	}
 	admSp := sp.Child("admission")
@@ -214,6 +282,28 @@ func (e *Engine) lookupOrCompute(ctx context.Context, sp *obs.Span, key, name, s
 		}
 	}
 	return data, SourceComputed, nil
+}
+
+// fill stores a peer-served result into both local tiers. Results are
+// content-addressed and immutable, so a fill is always safe: the bytes for a
+// key are the same wherever they were computed.
+func (e *Engine) fill(key, name, spec, salt string, data json.RawMessage) {
+	e.metrics.PeerFills.Add(1)
+	e.l1.Put(key, data)
+	if e.l2 == nil {
+		return
+	}
+	if err := e.l2.Put(key, harness.Entry{
+		Job: name, Spec: spec, Salt: salt,
+		CreatedAt: time.Now().UTC(), Result: data,
+	}); err != nil && e.logf != nil {
+		e.logf("serve: l2 fill key=%.12s…: %v", key, err)
+	}
+	if e.l2MaxBytes > 0 && e.l2Puts.Add(1)%l2PruneEvery == 0 {
+		if _, _, err := e.l2.Prune(e.l2MaxBytes, e.logf); err != nil && e.logf != nil {
+			e.logf("serve: l2 prune: %v", err)
+		}
+	}
 }
 
 // safeCompute invokes compute with panic recovery, so one malformed query

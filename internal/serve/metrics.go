@@ -18,13 +18,16 @@ import (
 type Metrics struct {
 	reg *obs.Registry
 
-	Requests  *obs.Counter // requests entering a /v1 handler
-	Coalesced *obs.Counter // requests served by joining an identical in-flight compute
-	L1Hits    *obs.Counter // in-memory LRU hits
-	L2Hits    *obs.Counter // on-disk cache hits
-	Computed  *obs.Counter // results computed fresh
-	Rejected  *obs.Counter // 429s from admission control
-	Errors    *obs.Counter // 4xx/5xx responses other than 429
+	Requests   *obs.Counter // requests entering a /v1 handler
+	Coalesced  *obs.Counter // requests served by joining an identical in-flight compute
+	L1Hits     *obs.Counter // in-memory LRU hits
+	L2Hits     *obs.Counter // on-disk cache hits
+	Computed   *obs.Counter // results computed fresh
+	Rejected   *obs.Counter // 429s from admission control
+	Errors     *obs.Counter // 4xx/5xx responses other than 429
+	PeerHits   *obs.Counter // results served by forwarding to the ring owner
+	PeerFills  *obs.Counter // peer results written into the local cache tiers
+	BatchItems *obs.Counter // specs processed through /v1/batch
 
 	// Solver telemetry, fed by the GK observer on /v1/throughput computes.
 	GKSolves     *obs.Counter // completed GK solves
@@ -45,6 +48,9 @@ func NewMetrics() *Metrics {
 		Computed:     reg.Counter("beyondftd_computed_total"),
 		Rejected:     reg.Counter("beyondftd_rejected_total"),
 		Errors:       reg.Counter("beyondftd_errors_total"),
+		PeerHits:     reg.Counter(`beyondftd_cache_hits_total{tier="peer"}`),
+		PeerFills:    reg.Counter("beyondftd_peer_fills_total"),
+		BatchItems:   reg.Counter("beyondftd_batch_items_total"),
 		GKSolves:     reg.Counter("beyondftd_gk_solves_total"),
 		GKPhases:     reg.Counter("beyondftd_gk_phases_total"),
 		GKIterations: reg.Counter("beyondftd_gk_iterations_total"),

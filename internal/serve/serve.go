@@ -23,11 +23,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"beyondft/internal/cluster"
 	"beyondft/internal/experiments"
 	"beyondft/internal/harness"
 	"beyondft/internal/obs"
@@ -75,6 +77,11 @@ type Server struct {
 
 	draining atomic.Bool
 
+	// cluster, when set (EnableCluster), shards the keyspace across peers:
+	// off-owner requests forward instead of computing. Nil pointer =
+	// standalone node; every path checks for that.
+	cluster atomic.Pointer[cluster.Cluster]
+
 	mu     sync.Mutex
 	served map[string]harness.JobReport // latest report per cache key
 }
@@ -115,12 +122,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("POST /v1/jobs/{name}/run", s.handleJobRun)
 	s.mux.HandleFunc("POST /v1/throughput", s.handleThroughput)
 	s.mux.HandleFunc("POST /v1/pathstats", s.handlePathStats)
 	s.mux.HandleFunc("POST /v1/whatif", s.handleWhatif)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -136,6 +145,29 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns the server's metrics set.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// EnableCluster joins this node to a cluster: engine-backed endpoints start
+// forwarding off-owner keys to their ring owner and filling the local
+// caches from peer results. Safe to call before or after Start; passing nil
+// returns the node to standalone serving.
+func (s *Server) EnableCluster(cl *cluster.Cluster) {
+	s.cluster.Store(cl)
+	if cl != nil {
+		s.logf("serve: cluster enabled self=%s peers=%d", cl.Self(), len(cl.Peers()))
+	}
+}
+
+// Cluster returns the node's cluster view (nil when standalone).
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster.Load() }
+
+// StartDrain flips /readyz to 503 without closing the listener, so load
+// balancers and peers stop sending new work while in-flight requests finish.
+// Call it a readiness-probe interval before Shutdown.
+func (s *Server) StartDrain() {
+	if !s.draining.Swap(true) {
+		s.logf("serve: draining (readyz now 503)")
+	}
+}
 
 // Start listens on addr (":8080", "127.0.0.1:0", …) and serves in a
 // background goroutine until Shutdown. Use Addr to learn the bound
@@ -222,7 +254,7 @@ func (s *Server) record(name, key string, src Source, d time.Duration) {
 	s.served[key] = harness.JobReport{
 		Name:       name,
 		Key:        key,
-		Cached:     src == SourceL1 || src == SourceL2,
+		Cached:     src == SourceL1 || src == SourceL2 || src == SourcePeer,
 		DurationMs: float64(d) / float64(time.Millisecond),
 	}
 	s.mu.Unlock()
@@ -304,12 +336,65 @@ type queryResponse struct {
 	Trace *obs.Record `json:"trace,omitempty"`
 }
 
+// forward describes how a query is re-issued against a peer when the
+// cluster tier decides another node owns its key: the peer-side path and
+// the request body (the canonical normalized spec, so the peer derives the
+// identical cache key).
+type forward struct {
+	path string
+	body []byte
+}
+
+// remoteFunc builds the engine's remote stage for one request: forward to
+// the key's ring owner. It returns nil — serve locally — when clustering is
+// off, the query has no forwardable form, this node owns the key, or the
+// request already rode one forward hop (the loop guard: two nodes with
+// momentarily diverged ring views must not bounce a request forever).
+func (s *Server) remoteFunc(r *http.Request, fwd *forward, name, spec, salt string) RemoteFunc {
+	cl := s.cluster.Load()
+	if cl == nil || fwd == nil {
+		return nil
+	}
+	key := harness.Key(name, spec, salt)
+	if cluster.Forwarded(r) {
+		if !cl.Owns(key) {
+			// Ownership views disagree (membership change in flight); serving
+			// locally is still correct — results are content-addressed.
+			cl.Metrics().LoopGuard.Add(1)
+		}
+		return nil
+	}
+	if cl.Owns(key) {
+		return nil
+	}
+	return func(ctx context.Context) (json.RawMessage, error) {
+		body, peer, err := cl.Forward(ctx, key, fwd.path, fwd.body)
+		if err != nil {
+			if errors.Is(err, cluster.ErrSelf) {
+				return nil, nil // live owner chain leads here: compute locally
+			}
+			if errors.Is(err, cluster.ErrPeerSaturated) {
+				return nil, fmt.Errorf("%w: %v", errSaturated, err)
+			}
+			return nil, err
+		}
+		var env queryResponse
+		if err := json.Unmarshal(body, &env); err != nil {
+			return nil, fmt.Errorf("peer %s: bad response envelope: %v", peer, err)
+		}
+		if len(env.Result) == 0 {
+			return nil, fmt.Errorf("peer %s: response envelope without result", peer)
+		}
+		return env.Result, nil
+	}
+}
+
 // serveQuery runs the shared engine path for one request and writes the
-// response: metrics, deadline, engine.Do, manifest record, histogram.
+// response: metrics, deadline, engine.DoRemote, manifest record, histogram.
 // ?trace=1 roots a span in the request context; the engine and the compute
 // hang stage spans off it and the finished tree rides back in the response.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint, name, spec, salt string,
-	compute func(context.Context) (json.RawMessage, error)) {
+	fwd *forward, compute func(context.Context) (json.RawMessage, error)) {
 	start := time.Now()
 	var root *obs.Span
 	if r.URL.Query().Get("trace") == "1" {
@@ -319,7 +404,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint, na
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	ctx = obs.ContextWithSpan(ctx, root)
-	data, key, src, err := s.engine.Do(ctx, name, spec, salt, compute)
+	data, key, src, err := s.engine.DoRemote(ctx, name, spec, salt, s.remoteFunc(r, fwd, name, spec, salt), compute)
 	elapsed := time.Since(start)
 	s.metrics.Latency(endpoint).Observe(elapsed)
 	if err != nil {
@@ -358,6 +443,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// readyzResponse is the /readyz payload.
+type readyzResponse struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+}
+
+// handleReadyz is the load-balancer readiness probe: 200 while the node
+// accepts new work, 503 once draining (StartDrain/Shutdown). /healthz stays
+// 200 throughout a drain — the process is alive, just not taking traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
+	code := http.StatusOK
+	if draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, readyzResponse{Ready: !draining, Draining: draining})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w)
@@ -378,6 +481,28 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// jobQuery resolves a registry job to its forward descriptor, salt, and
+// compute — shared between POST /v1/jobs/{name}/run and batch kind=job.
+func (s *Server) jobQuery(job harness.Job) (*forward, string, func(context.Context) (json.RawMessage, error)) {
+	fwd := &forward{path: "/v1/jobs/" + url.PathEscape(job.Name) + "/run"}
+	return fwd, experiments.CodeSalt, func(ctx context.Context) (json.RawMessage, error) {
+		v, err := job.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		data, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("encode result: %w", err)
+		}
+		// Round-trip check at the boundary: what we cache and serve
+		// must decode back into the driver's result type.
+		if _, err := experiments.DecodeJobResult(data); err != nil {
+			return nil, fmt.Errorf("result does not round-trip: %w", err)
+		}
+		return data, nil
+	}
+}
+
 // jobRunResult augments the generic envelope's Result with a figure count,
 // exercising the exported JobResult JSON round-trip.
 func (s *Server) handleJobRun(w http.ResponseWriter, r *http.Request) {
@@ -389,23 +514,8 @@ func (s *Server) handleJobRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("unknown job %q (see GET /v1/jobs)", name)})
 		return
 	}
-	s.serveQuery(w, r, "/v1/jobs/run", job.Name, job.Spec, experiments.CodeSalt,
-		func(ctx context.Context) (json.RawMessage, error) {
-			v, err := job.Run(ctx)
-			if err != nil {
-				return nil, err
-			}
-			data, err := json.Marshal(v)
-			if err != nil {
-				return nil, fmt.Errorf("encode result: %w", err)
-			}
-			// Round-trip check at the boundary: what we cache and serve
-			// must decode back into the driver's result type.
-			if _, err := experiments.DecodeJobResult(data); err != nil {
-				return nil, fmt.Errorf("result does not round-trip: %w", err)
-			}
-			return data, nil
-		})
+	fwd, salt, compute := s.jobQuery(job)
+	s.serveQuery(w, r, "/v1/jobs/run", job.Name, job.Spec, salt, fwd, compute)
 }
 
 func (s *Server) handleThroughput(w http.ResponseWriter, r *http.Request) {
@@ -420,7 +530,9 @@ func (s *Server) handleThroughput(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.metrics = s.metrics
-	s.serveQuery(w, r, "/v1/throughput", "v1/throughput", req.spec(), CodeSalt, req.run)
+	spec := req.spec()
+	s.serveQuery(w, r, "/v1/throughput", "v1/throughput", spec, CodeSalt,
+		&forward{path: "/v1/throughput", body: []byte(spec)}, req.run)
 }
 
 func (s *Server) handlePathStats(w http.ResponseWriter, r *http.Request) {
@@ -434,5 +546,7 @@ func (s *Server) handlePathStats(w http.ResponseWriter, r *http.Request) {
 		s.writeBadRequest(w, err)
 		return
 	}
-	s.serveQuery(w, r, "/v1/pathstats", "v1/pathstats", req.spec(), CodeSalt, req.run)
+	spec := req.spec()
+	s.serveQuery(w, r, "/v1/pathstats", "v1/pathstats", spec, CodeSalt,
+		&forward{path: "/v1/pathstats", body: []byte(spec)}, req.run)
 }

@@ -1,53 +1,94 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"sync"
 )
 
 // flightGroup is a hand-rolled singleflight: concurrent lookups for the
 // same key share one execution. The first caller to join a key becomes the
-// leader and runs the work; everyone else blocks on the call's done channel
-// (or their own context) and reads the shared outcome. Unlike
-// golang.org/x/sync/singleflight this is specialized to our use — keys are
-// harness cache keys, results are encoded JSON — and integrates with the
-// engine's metrics.
+// leader and launches the work; everyone — leader included — blocks on the
+// call's done channel (or their own context) and reads the shared outcome.
+// Unlike golang.org/x/sync/singleflight this is specialized to our use —
+// keys are harness cache keys, results are encoded JSON — and integrates
+// with the engine's metrics.
+//
+// The compute runs detached from the leader's request context: a leader
+// whose client disconnects or deadline fires must not take the result away
+// from joiners still waiting on it. Each call refcounts its participants;
+// the detached compute is canceled only when the last of them stops
+// listening, so work never runs on with nobody left to serve.
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
 }
 
 // flightCall is one in-flight execution. data/src/err are written by the
-// leader before done is closed and read-only afterwards.
+// compute goroutine before done is closed and read-only afterwards.
 type flightCall struct {
 	done chan struct{}
 	data json.RawMessage
 	src  Source
 	err  error
+
+	refs   int                // participants still waiting on done (guarded by group mu)
+	cancel context.CancelFunc // cancels the detached compute once refs hits 0
 }
 
-// join returns the in-flight call for key, creating it if absent. leader
-// reports whether the caller created the call and therefore must execute
-// the work and finish() it.
+// join returns the in-flight call for key, creating one if absent — or if
+// the existing call has been abandoned by every participant (refs == 0) and
+// is merely winding down, in which case a fresh call replaces it. leader
+// reports whether the caller created the call and therefore must launch the
+// work and finish() it.
 func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.calls == nil {
 		g.calls = map[string]*flightCall{}
 	}
-	if c, ok := g.calls[key]; ok {
+	if c, ok := g.calls[key]; ok && c.refs > 0 {
+		c.refs++
 		return c, false
 	}
-	c = &flightCall{done: make(chan struct{})}
+	c = &flightCall{done: make(chan struct{}), refs: 1}
 	g.calls[key] = c
 	return c, true
 }
 
-// finish publishes the leader's outcome: removes the key so later requests
-// start fresh, then wakes all joined waiters.
+// setCancel arms the call with its detached compute's cancel func. The
+// leader calls this before it can possibly drop, so refs cannot reach zero
+// with cancel still nil.
+func (g *flightGroup) setCancel(c *flightCall, cancel context.CancelFunc) {
+	g.mu.Lock()
+	c.cancel = cancel
+	g.mu.Unlock()
+}
+
+// drop unregisters one participant whose own context expired. When the last
+// one leaves, the detached compute is canceled — nobody is listening for
+// the result anymore.
+func (g *flightGroup) drop(c *flightCall) {
+	g.mu.Lock()
+	c.refs--
+	var cancel context.CancelFunc
+	if c.refs == 0 {
+		cancel = c.cancel
+	}
+	g.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// finish publishes the compute's outcome: removes the key so later requests
+// start fresh (only if the map still holds this call — an abandoned call
+// may already have been replaced), then wakes all waiters.
 func (g *flightGroup) finish(key string, c *flightCall) {
 	g.mu.Lock()
-	delete(g.calls, key)
+	if g.calls[key] == c {
+		delete(g.calls, key)
+	}
 	g.mu.Unlock()
 	close(c.done)
 }

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSingleflightLeaderCancelDetaches is the regression test for the
+// leader-abandonment bug: when the singleflight leader's request context
+// dies (client disconnect, deadline), the compute it launched must keep
+// running for the joiners still waiting on it — previously the result was
+// computed under the leader's context, so every waiter got the leader's
+// cancellation.
+func TestSingleflightLeaderCancelDetaches(t *testing.T) {
+	e := NewEngine(EngineConfig{L1Bytes: 1 << 20, Workers: 2, QueueDepth: 4})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	e.computeStarted = func(string) {
+		close(entered)
+		<-release
+	}
+	want := json.RawMessage(`{"v":42}`)
+	compute := func(ctx context.Context) (json.RawMessage, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return want, nil
+	}
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := e.Do(lctx, "job", `{"a":1}`, "s", compute)
+		leaderErr <- err
+	}()
+	<-entered // the leader's detached compute holds a slot
+
+	type out struct {
+		data json.RawMessage
+		src  Source
+		err  error
+	}
+	waiter := make(chan out, 1)
+	go func() {
+		data, _, src, err := e.Do(context.Background(), "job", `{"a":1}`, "s", compute)
+		waiter <- out{data, src, err}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for e.metrics.Coalesced.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill the leader. The waiter still holds a reference, so the compute
+	// must not be canceled.
+	lcancel()
+	if err := <-leaderErr; err != context.Canceled {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	select {
+	case o := <-waiter:
+		t.Fatalf("waiter returned before compute finished: %+v", o)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(release)
+	o := <-waiter
+	if o.err != nil {
+		t.Fatalf("waiter err = %v (leader cancellation leaked into the flight)", o.err)
+	}
+	if string(o.data) != string(want) || o.src != SourceCoalesced {
+		t.Fatalf("waiter got %q src=%q, want %q coalesced", o.data, o.src, want)
+	}
+	if got := e.metrics.Computed.Load(); got != 1 {
+		t.Fatalf("computed = %d, want 1", got)
+	}
+	// The orphan-rescued result was cached like any other.
+	data, _, src, err := e.Do(context.Background(), "job", `{"a":1}`, "s", compute)
+	if err != nil || src != SourceL1 || string(data) != string(want) {
+		t.Fatalf("recheck: data=%q src=%q err=%v, want l1 hit", data, src, err)
+	}
+}
+
+// TestSingleflightAllAbandonedCancels is the other half of the refcount
+// contract: when every participant has dropped, the detached compute is
+// canceled (work with no audience must not burn a slot), nothing is cached,
+// and the next request for the key starts a fresh flight.
+func TestSingleflightAllAbandonedCancels(t *testing.T) {
+	e := NewEngine(EngineConfig{L1Bytes: 1 << 20, Workers: 2, QueueDepth: 4})
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	e.computeStarted = func(string) {
+		entered <- struct{}{}
+		<-release
+	}
+	var computes atomic.Int64
+	compute := func(ctx context.Context) (json.RawMessage, error) {
+		computes.Add(1)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return json.RawMessage(`{}`), nil
+	}
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := e.Do(lctx, "job", `{"b":2}`, "s", compute)
+		leaderErr <- err
+	}()
+	<-entered
+	lcancel() // sole participant leaves: refs hit 0, detached ctx cancels
+	if err := <-leaderErr; err != context.Canceled {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	close(release)
+
+	// The abandoned compute saw a canceled context and its outcome was
+	// discarded; a fresh request computes from scratch and succeeds.
+	data, _, src, err := e.Do(context.Background(), "job", `{"b":2}`, "s", compute)
+	if err != nil || src != SourceComputed || string(data) != `{}` {
+		t.Fatalf("fresh request: data=%q src=%q err=%v, want computed", data, src, err)
+	}
+	<-entered // second compute passed through the hook too
+	deadline := time.Now().Add(10 * time.Second)
+	for computes.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("compute ran %d times, want 2 (abandoned + fresh)", computes.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := e.metrics.Computed.Load(); got != 1 {
+		t.Fatalf("computed counter = %d, want 1 (abandoned run must not count)", got)
+	}
+}

@@ -212,7 +212,9 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		s.serveWhatifStream(w, r, &req)
 		return
 	}
-	s.serveQuery(w, r, "/v1/whatif", "v1/whatif", req.spec(), CodeSalt, req.run)
+	spec := req.spec()
+	s.serveQuery(w, r, "/v1/whatif", "v1/whatif", spec, CodeSalt,
+		&forward{path: "/v1/whatif", body: []byte(spec)}, req.run)
 }
 
 // serveWhatifStream runs the sweep outside the result cache (a stream
