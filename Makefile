@@ -137,10 +137,13 @@ serve-smoke:
 	rm -rf $(SMOKE_DIR)
 
 # End-to-end smoke of the cluster tier (DESIGN.md §14): three in-process
-# nodes on one consistent-hash ring serve a mixed query/batch workload, one
-# node is killed mid-run, and every result must be byte-identical to a
-# standalone node with zero duplicate computes fleet-wide and at least one
-# peer cache fill. Wired into `make test`.
+# nodes on one consistent-hash ring at replication factor 2 with gossip
+# membership serve a mixed query/batch workload; one node is killed mid-run
+# (survivors evict it via gossip, not operator action) and later rejoins
+# under its old URL with an empty cache. Every result must be byte-identical
+# to a standalone node with ZERO duplicate computes fleet-wide — the kill
+# loses no cached bytes and the rejoined node warms itself entirely from
+# peers. Wired into `make test`.
 cluster-smoke:
 	go test -run '^TestClusterSmoke$$' -count=1 ./internal/cluster
 
@@ -169,7 +172,8 @@ bench-cluster:
 	pids=""; \
 	for p in $(LOADGEN_PORTS); do \
 		$(LOADGEN_DIR)/beyondftd -addr 127.0.0.1:$$p -cache $(LOADGEN_DIR)/c$$p -out '' \
-			-self http://127.0.0.1:$$p -peers "$$peers" 2> $(LOADGEN_DIR)/log$$p & \
+			-self http://127.0.0.1:$$p -peers "$$peers" \
+			-replication 2 -gossip-interval 250ms 2> $(LOADGEN_DIR)/log$$p & \
 		pids="$$pids $$!"; \
 	done; \
 	for p in $(LOADGEN_PORTS); do \

@@ -52,8 +52,10 @@ func main() {
 	portFile := flag.String("port-file", "", "write the bound address to this file once listening (for scripts)")
 	smoke := flag.Bool("smoke", false, "self-check: boot, probe /healthz and /v1/throughput, drain, exit")
 	self := flag.String("self", "", "this node's advertised base URL for cluster mode (e.g. http://10.0.0.5:8080)")
-	peersFlag := flag.String("peers", "", "comma-separated peer base URLs forming the cluster ring (implies -self)")
+	peersFlag := flag.String("peers", "", "comma-separated peer base URLs forming the cluster ring (implies -self); with -gossip-interval these are only seeds")
 	forwardTimeout := flag.Duration("forward-timeout", 15*time.Second, "per-peer forward attempt timeout in cluster mode")
+	replication := flag.Int("replication", 1, "replica owners per key (R); R>1 survives node loss with no cold recomputes")
+	gossipInterval := flag.Duration("gossip-interval", time.Second, "membership gossip period (0 = static -peers list, no failure detection)")
 	readyGrace := flag.Duration("ready-grace", 0, "after a shutdown signal, keep serving this long with /readyz=503 before draining")
 	flag.Parse()
 
@@ -99,7 +101,9 @@ func main() {
 		cl, err := cluster.New(cluster.Config{
 			Self:           selfURL,
 			Peers:          strings.Split(*peersFlag, ","),
+			Replication:    *replication,
 			ForwardTimeout: *forwardTimeout,
+			GossipInterval: *gossipInterval,
 			Registry:       s.Metrics().Registry(),
 			Logf:           logger.Printf,
 		})
@@ -107,6 +111,8 @@ func main() {
 			logger.Fatal(err)
 		}
 		s.EnableCluster(cl)
+		cl.Start()
+		defer cl.Stop()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

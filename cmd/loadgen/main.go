@@ -110,8 +110,11 @@ type runRecord struct {
 	Errors      int64            `json:"errors"`
 	ByStatus    map[string]int64 `json:"by_status"`
 	BySource    map[string]int64 `json:"by_source"`
-	LatencyMs   cdf              `json:"latency_ms"`
-	SchedLagMs  cdf              `json:"sched_lag_ms"`
+	// ErrsByTarget splits Errors per node, so a churn bench shows whether
+	// failures clustered on the killed node or spread fleet-wide.
+	ErrsByTarget map[string]int64 `json:"errors_by_target,omitempty"`
+	LatencyMs    cdf              `json:"latency_ms"`
+	SchedLagMs   cdf              `json:"sched_lag_ms"`
 }
 
 // outFile is the whole -out file: run records keyed by -name, so repeated
@@ -135,6 +138,8 @@ func main() {
 	name := flag.String("name", "run", "record name in the -out file (overwrites a same-named run)")
 	out := flag.String("out", "", "JSON file to merge the run record into (empty: stdout only)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	maxErrorRate := flag.Float64("max-error-rate", 0,
+		"tolerated errored fraction of requests before exiting 1 (0 = any error fails); membership-churn benches budget the kill window here")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "loadgen: ", log.LstdFlags|log.Lmsgprefix)
@@ -161,6 +166,7 @@ func main() {
 	var tallyMu sync.Mutex
 	byStatus := map[string]int64{}
 	bySource := map[string]int64{}
+	errsByTarget := map[string]int64{}
 
 	latency := newShardedSketch(*alpha)
 	schedLag := newShardedSketch(*alpha)
@@ -193,6 +199,7 @@ func main() {
 			errorsC.Inc()
 			tallyMu.Lock()
 			byStatus["error"]++
+			errsByTarget[target]++
 			tallyMu.Unlock()
 			return
 		}
@@ -208,6 +215,8 @@ func main() {
 		byStatus[fmt.Sprint(resp.StatusCode)]++
 		if resp.StatusCode == http.StatusOK {
 			bySource[source]++
+		} else {
+			errsByTarget[target]++
 		}
 		tallyMu.Unlock()
 		if resp.StatusCode != http.StatusOK {
@@ -284,19 +293,20 @@ func main() {
 	elapsed := time.Since(start)
 
 	rec := runRecord{
-		Targets:     targets,
-		TargetRPS:   *rps,
-		AchievedRPS: float64(requests.Load()) / elapsed.Seconds(),
-		DurationS:   elapsed.Seconds(),
-		SpecPool:    len(specs),
-		Seed:        *seed,
-		Requests:    requests.Load(),
-		Drops:       drops.Load(),
-		Errors:      errorsC.Load(),
-		ByStatus:    byStatus,
-		BySource:    bySource,
-		LatencyMs:   summarize(latency.merged(*alpha)),
-		SchedLagMs:  summarize(schedLag.merged(*alpha)),
+		Targets:      targets,
+		TargetRPS:    *rps,
+		AchievedRPS:  float64(requests.Load()) / elapsed.Seconds(),
+		DurationS:    elapsed.Seconds(),
+		SpecPool:     len(specs),
+		Seed:         *seed,
+		Requests:     requests.Load(),
+		Drops:        drops.Load(),
+		Errors:       errorsC.Load(),
+		ByStatus:     byStatus,
+		BySource:     bySource,
+		ErrsByTarget: errsByTarget,
+		LatencyMs:    summarize(latency.merged(*alpha)),
+		SchedLagMs:   summarize(schedLag.merged(*alpha)),
 	}
 
 	doc := outFile{Format: outFormat, Runs: map[string]runRecord{}}
@@ -331,7 +341,17 @@ func main() {
 		logger.Printf("run %q merged into %s", *name, *out)
 	}
 	if rec.Errors > 0 {
-		logger.Printf("WARNING: %d requests errored", rec.Errors)
-		os.Exit(1)
+		total := rec.Requests
+		if total < 1 {
+			total = 1
+		}
+		rate := float64(rec.Errors) / float64(total)
+		if rate > *maxErrorRate {
+			logger.Printf("FAIL: %d/%d requests errored (%.3f%% > budget %.3f%%)",
+				rec.Errors, rec.Requests, 100*rate, 100**maxErrorRate)
+			os.Exit(1)
+		}
+		logger.Printf("WARNING: %d/%d requests errored (%.3f%%, within budget %.3f%%)",
+			rec.Errors, rec.Requests, 100*rate, 100**maxErrorRate)
 	}
 }

@@ -45,10 +45,17 @@ type Config struct {
 	// Self is this node's advertised base URL; it must appear in Peers
 	// (it is added if absent).
 	Self string
-	// Peers are the base URLs of every ring member, including Self.
+	// Peers are the base URLs of the initial ring members, including Self.
+	// With gossip enabled (GossipInterval > 0) they are only seeds: the
+	// membership protocol takes over and the ring tracks live nodes.
 	Peers []string
 	// VNodes is the number of virtual nodes per peer (0 = DefaultVNodes).
 	VNodes int
+	// Replication is the number of distinct ring owners per key (R). All R
+	// owners serve the key locally; fresh computes replicate to the sibling
+	// owners, so any R-1 node deaths lose no cached bytes. 0 or 1 means
+	// single ownership (the pre-replication behavior).
+	Replication int
 	// ForwardTimeout bounds one forward attempt to one peer (0 = 15s).
 	ForwardTimeout time.Duration
 	// Retries is how many extra attempts a transiently failing peer gets
@@ -57,13 +64,28 @@ type Config struct {
 	// Backoff is the sleep before the first retry, doubling per retry
 	// (0 = 25ms).
 	Backoff time.Duration
-	// Hedge is how many successor owners to try after the owner itself
-	// (0 = 1; the owner plus one hedge survives any single node failure).
+	// Hedge is how many successor owners to try after the R-owner set
+	// (0 = 1; the owners plus one hedge survive any single node failure).
 	Hedge int
 	// DownFor is how long a peer is skipped after a failed forward before
 	// being probed again (0 = 1s). Skipping turns a dead peer's cost from
 	// one timeout per request into one per DownFor.
 	DownFor time.Duration
+	// GossipInterval is the membership gossip period; 0 disables gossip and
+	// freezes membership at Peers (plus explicit SetPeers calls).
+	GossipInterval time.Duration
+	// SuspectAfter is how long an alive member may go unrefreshed before it
+	// is suspected (0 = 5×GossipInterval).
+	SuspectAfter time.Duration
+	// DeadAfter is how long a suspect stays suspected before it is declared
+	// dead and leaves the ring (0 = 5×GossipInterval).
+	DeadAfter time.Duration
+	// AntiEntropyInterval is the period of the background re-replication
+	// pass (0 = 10×GossipInterval, or 30s without gossip). Each pass offers
+	// every locally cached entry to the key's current owners and pushes the
+	// ones they lack, so membership changes restore the replication factor
+	// without operator intervention.
+	AntiEntropyInterval time.Duration
 	// Registry receives cluster metrics (nil disables).
 	Registry *obs.Registry
 	// Client overrides the forwarding HTTP client (tests); nil builds one.
@@ -72,20 +94,47 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// peerHealth is one peer's failure-detector state on the forwarding path
+// (distinct from gossip membership: this reacts per-request within
+// milliseconds; gossip converges the ring within seconds).
+type peerHealth struct {
+	until        time.Time // skip the peer until this instant
+	probing      bool      // one probe request is in flight past the window
+	probeExpires time.Time // safety valve: a stuck probe frees the slot here
+}
+
 // Cluster is one node's view of the fleet: the shared ring, the forwarding
-// transport, and per-peer health.
+// transport, per-peer health, gossip membership and the replication engine.
 type Cluster struct {
 	cfg     Config
 	self    string
 	ring    atomic.Pointer[Ring]
 	client  *http.Client
 	metrics *Metrics
+	mem     *Membership
+	repl    *replicator
+
+	// entries enumerates this node's cached results for anti-entropy
+	// (set by the serving layer via SetEntriesSource; nil disables).
+	entries atomic.Pointer[EntriesFunc]
+
+	// ringChanged wakes the anti-entropy loop after a membership change.
+	ringChanged chan struct{}
+
+	lifecycle sync.Mutex
+	stop      context.CancelFunc
+	loops     sync.WaitGroup
 
 	mu   sync.Mutex
-	down map[string]time.Time // peer -> skip until
+	down map[string]*peerHealth
 }
 
-// New validates cfg and builds a node's cluster view.
+// EntriesFunc enumerates local cache entries; yield returning false stops
+// the walk early.
+type EntriesFunc func(ctx context.Context, yield func(Entry) bool) error
+
+// New validates cfg and builds a node's cluster view. Background loops
+// (gossip, replication pushes, anti-entropy) start with Start.
 func New(cfg Config) (*Cluster, error) {
 	cfg.Self = normalizeURL(cfg.Self)
 	if cfg.Self == "" {
@@ -107,6 +156,9 @@ func New(cfg Config) (*Cluster, error) {
 	if !found {
 		peers = append(peers, cfg.Self)
 	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
 	if cfg.ForwardTimeout <= 0 {
 		cfg.ForwardTimeout = 15 * time.Second
 	}
@@ -124,6 +176,21 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DownFor <= 0 {
 		cfg.DownFor = time.Second
 	}
+	if cfg.GossipInterval > 0 {
+		if cfg.SuspectAfter <= 0 {
+			cfg.SuspectAfter = 5 * cfg.GossipInterval
+		}
+		if cfg.DeadAfter <= 0 {
+			cfg.DeadAfter = 5 * cfg.GossipInterval
+		}
+	}
+	if cfg.AntiEntropyInterval <= 0 {
+		if cfg.GossipInterval > 0 {
+			cfg.AntiEntropyInterval = 10 * cfg.GossipInterval
+		} else {
+			cfg.AntiEntropyInterval = 30 * time.Second
+		}
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Transport: &http.Transport{
@@ -133,11 +200,33 @@ func New(cfg Config) (*Cluster, error) {
 		}}
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		self:    cfg.Self,
-		client:  client,
-		metrics: NewMetrics(cfg.Registry),
-		down:    map[string]time.Time{},
+		cfg:         cfg,
+		self:        cfg.Self,
+		client:      client,
+		metrics:     NewMetrics(cfg.Registry),
+		down:        map[string]*peerHealth{},
+		ringChanged: make(chan struct{}, 1),
+	}
+	c.repl = newReplicator(c)
+	if cfg.GossipInterval > 0 {
+		seeds := make([]string, 0, len(peers))
+		for _, p := range peers {
+			if p != cfg.Self {
+				seeds = append(seeds, p)
+			}
+		}
+		c.mem = NewMembership(MembershipConfig{
+			Self:         cfg.Self,
+			Seeds:        seeds,
+			SuspectAfter: cfg.SuspectAfter,
+			DeadAfter:    cfg.DeadAfter,
+			Logf:         cfg.Logf,
+		})
+		c.mem.OnChange(func(live []string) {
+			c.metrics.Suspects.Set(int64(c.mem.SuspectCount()))
+			c.SetPeers(live)
+		})
+		c.mem.SetExchange(c.gossipExchange)
 	}
 	c.setRing(NewRing(peers, cfg.VNodes))
 	return c, nil
@@ -166,15 +255,46 @@ func (c *Cluster) Peers() []string { return c.ring.Load().Nodes() }
 // Metrics returns the cluster metric set.
 func (c *Cluster) Metrics() *Metrics { return c.metrics }
 
-// Owner returns the ring owner of key.
+// Replication returns the configured owners-per-key factor R.
+func (c *Cluster) Replication() int { return c.cfg.Replication }
+
+// Membership returns the gossip membership table (nil when gossip is off).
+func (c *Cluster) Membership() *Membership { return c.mem }
+
+// Owner returns the primary ring owner of key.
 func (c *Cluster) Owner(key string) string { return c.ring.Load().Owner(key) }
 
-// Owns reports whether this node owns key.
-func (c *Cluster) Owns(key string) bool { return c.Owner(key) == c.self }
+// Owners returns the key's R distinct replica owners in ring order; the
+// first is the primary (the node that computes fresh results).
+func (c *Cluster) Owners(key string) []string {
+	return c.ring.Load().Owners(key, c.cfg.Replication)
+}
+
+// Owns reports whether this node is any of key's R replica owners.
+func (c *Cluster) Owns(key string) bool {
+	for _, o := range c.Owners(key) {
+		if o == c.self {
+			return true
+		}
+	}
+	return false
+}
+
+// SetEntriesSource wires the local cache walk used by anti-entropy (the
+// serving layer owns the caches, the cluster owns the schedule).
+func (c *Cluster) SetEntriesSource(fn EntriesFunc) {
+	if fn == nil {
+		c.entries.Store(nil)
+		return
+	}
+	c.entries.Store(&fn)
+}
 
 // SetPeers replaces the ring membership (Self is always retained).
 // Ownership moves deterministically and minimally (see ring_test.go), so a
-// rolling membership change re-homes only its share of the keyspace.
+// rolling membership change re-homes only its share of the keyspace. With
+// gossip enabled this is called by the membership protocol; calling it
+// directly also works (static deployments, tests).
 func (c *Cluster) SetPeers(peers []string) {
 	all := make([]string, 0, len(peers)+1)
 	for _, p := range peers {
@@ -190,28 +310,88 @@ func (c *Cluster) setRing(r *Ring) {
 	c.ring.Store(r)
 	c.metrics.setRing(r)
 	c.logf("cluster: %s self=%s", r, c.self)
+	select {
+	case c.ringChanged <- struct{}{}:
+	default:
+	}
 }
 
-// Forward sends body to path on key's owner and returns the peer's response
-// body. On transient peer failure it retries with backoff, then hedges to
-// the next distinct ring owner. It returns ErrSelf when the live owner
-// chain reaches this node (compute locally), ErrPeerSaturated when the
-// owner shed the request, and a joined error when every candidate failed
-// (the caller falls back to computing locally — availability over strict
-// ownership).
+// Start launches the background loops: replication push workers, the
+// gossip membership loop (when configured) and the anti-entropy pass.
+// Stop (or nothing, for a process-lifetime cluster) ends them.
+func (c *Cluster) Start() {
+	c.lifecycle.Lock()
+	defer c.lifecycle.Unlock()
+	if c.stop != nil {
+		return // already started
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.stop = cancel
+	c.repl.start(ctx, &c.loops)
+	if c.mem != nil {
+		c.loops.Add(1)
+		go func() {
+			defer c.loops.Done()
+			c.gossipLoop(ctx)
+		}()
+	}
+	c.loops.Add(1)
+	go func() {
+		defer c.loops.Done()
+		c.antiEntropyLoop(ctx)
+	}()
+}
+
+// Stop ends the background loops and waits for them to exit. Safe to call
+// multiple times or without Start.
+func (c *Cluster) Stop() {
+	c.lifecycle.Lock()
+	stop := c.stop
+	c.stop = nil
+	c.lifecycle.Unlock()
+	if stop != nil {
+		stop()
+		c.loops.Wait()
+	}
+}
+
+// gossipLoop drives the SWIM-lite membership rounds.
+func (c *Cluster) gossipLoop(ctx context.Context) {
+	t := time.NewTicker(c.cfg.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.mem.Tick(ctx)
+		}
+	}
+}
+
+// Forward sends body to path on one of key's owners and returns the peer's
+// response body. Candidates are the key's R replica owners followed by
+// Hedge successors; a transiently failing candidate is retried with
+// backoff, then the forward hedges down the chain. It returns ErrSelf when
+// the live candidate chain reaches this node (compute locally),
+// ErrPeerSaturated when the owner shed the request, and a joined error when
+// every candidate failed (the caller falls back to computing locally —
+// availability over strict ownership).
 func (c *Cluster) Forward(ctx context.Context, key, path string, body []byte) (data []byte, peer string, err error) {
-	owners := c.ring.Load().Owners(key, 1+c.cfg.Hedge)
+	owners := c.ring.Load().Owners(key, c.cfg.Replication+c.cfg.Hedge)
 	var lastErr error
 	for i, p := range owners {
 		if p == c.self {
 			return nil, "", ErrSelf
 		}
-		if i > 0 {
-			c.metrics.Hedges.Add(1)
-		}
 		if !c.usable(p) {
 			lastErr = fmt.Errorf("peer %s marked down", p)
 			continue
+		}
+		// Count a hedge only when a non-first candidate is actually
+		// attempted; skipping a down-marked peer is not a hedge attempt.
+		if i > 0 {
+			c.metrics.Hedges.Add(1)
 		}
 		data, err := c.attempt(ctx, p, path, body)
 		if err == nil {
@@ -234,7 +414,10 @@ func (c *Cluster) Forward(ctx context.Context, key, path string, body []byte) (d
 
 // attempt tries one peer up to 1+Retries times with exponential backoff,
 // marking the peer down when all attempts fail so subsequent forwards skip
-// straight to hedging until the peer has had DownFor to recover.
+// straight to hedging until the peer has had DownFor to recover. A failure
+// caused by the *caller's* context (cancel or deadline) never down-marks:
+// the peer may be perfectly healthy, and blaming it would make every
+// impatient client poison the hedge chain for DownFor.
 func (c *Cluster) attempt(ctx context.Context, peer, path string, body []byte) ([]byte, error) {
 	var lastErr error
 	backoff := c.cfg.Backoff
@@ -245,6 +428,7 @@ func (c *Cluster) attempt(ctx context.Context, peer, path string, body []byte) (
 			case <-time.After(backoff):
 				backoff *= 2
 			case <-ctx.Done():
+				c.probeRelease(peer)
 				return nil, ctx.Err()
 			}
 		}
@@ -260,7 +444,14 @@ func (c *Cluster) attempt(ctx context.Context, peer, path string, body []byte) (
 			break
 		}
 	}
-	if !errors.Is(lastErr, ErrPeerSaturated) {
+	switch {
+	case errors.Is(lastErr, ErrPeerSaturated):
+		// A shed proves the peer is alive, just busy.
+		c.markUp(peer)
+	case ctx.Err() != nil:
+		// Caller gave up; release any probe slot but don't blame the peer.
+		c.probeRelease(peer)
+	default:
 		c.markDown(peer, lastErr)
 	}
 	return nil, lastErr
@@ -299,27 +490,60 @@ func (c *Cluster) once(ctx context.Context, peer, path string, body []byte) (dat
 	}
 }
 
-// usable reports whether a peer should be tried, allowing one probe once
-// its down-window has elapsed.
+// usable reports whether a peer should be tried. Once the down-window has
+// elapsed, exactly one caller wins the probe slot and carries the probe;
+// everyone else keeps skipping until the probe resolves (markUp/markDown)
+// or its safety expiry passes — without the gate, every concurrent request
+// would pile onto a still-dead peer the instant the window lapsed.
 func (c *Cluster) usable(peer string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	until, bad := c.down[peer]
+	st, bad := c.down[peer]
 	if !bad {
 		return true
 	}
-	if time.Now().After(until) {
-		// Probe: let this request through; failure re-arms the window.
-		delete(c.down, peer)
-		return true
+	now := time.Now()
+	if now.Before(st.until) {
+		return false
 	}
-	return false
+	if st.probing && now.Before(st.probeExpires) {
+		return false
+	}
+	st.probing = true
+	st.probeExpires = now.Add(c.probeBudget())
+	return true
+}
+
+// healthy is the read-only counterpart of usable: it never claims the probe
+// slot, so background passes (anti-entropy, sibling fetches) can consult
+// peer health without starving the forward path's single probe.
+func (c *Cluster) healthy(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, bad := c.down[peer]
+	return !bad || time.Now().After(st.until)
+}
+
+// probeBudget bounds how long a probe may hold the slot before another
+// caller may try: the worst-case attempt time plus slack.
+func (c *Cluster) probeBudget() time.Duration {
+	return c.cfg.ForwardTimeout*time.Duration(1+c.cfg.Retries) + c.cfg.DownFor
+}
+
+// probeRelease frees the probe slot without re-arming the down window, for
+// probes that ended without a verdict (caller cancellation).
+func (c *Cluster) probeRelease(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.down[peer]; ok {
+		st.probing = false
+	}
 }
 
 func (c *Cluster) markDown(peer string, cause error) {
 	c.mu.Lock()
 	_, already := c.down[peer]
-	c.down[peer] = time.Now().Add(c.cfg.DownFor)
+	c.down[peer] = &peerHealth{until: time.Now().Add(c.cfg.DownFor)}
 	c.mu.Unlock()
 	if !already {
 		c.metrics.Down(peer).Add(1)

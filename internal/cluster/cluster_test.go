@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -293,5 +294,141 @@ func TestSetPeersRebalances(t *testing.T) {
 	}
 	if share < 990_000 || share > 1_010_000 {
 		t.Fatalf("ring shares sum to %d ppm, want ~1e6", share)
+	}
+}
+
+// TestCallerCancelDoesNotDownPeer: a forward that fails because the
+// *caller* gave up (context canceled mid-request) must not mark the peer
+// down — the peer may be healthy, and blaming it would poison the hedge
+// chain for DownFor. Regression: attempt used to markDown on any
+// non-saturation failure, including the caller's own cancellation.
+func TestCallerCancelDoesNotDownPeer(t *testing.T) {
+	release := make(chan struct{})
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		w.Write([]byte(`late`))
+	}))
+	defer peer.Close()
+	defer close(release)
+
+	c, err := New(fastConfig("http://self:1", peer.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOwnedBy(t, c, peer.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if _, _, err := c.Forward(ctx, key, "/x", nil); err == nil {
+		t.Fatal("forward succeeded despite caller cancel")
+	}
+	if !c.usable(peer.URL) {
+		t.Fatal("healthy peer marked down after caller cancellation")
+	}
+	if got := c.Metrics().Down(peer.URL).Load(); got != 0 {
+		t.Fatalf("down counter = %d, want 0 (caller canceled, peer not at fault)", got)
+	}
+}
+
+// TestHedgeCounterSkipsDownPeers: skipping a down-marked candidate is not a
+// hedge attempt and must not inflate the Hedges counter. Regression:
+// Forward used to count the hedge before the usable check.
+func TestHedgeCounterSkipsDownPeers(t *testing.T) {
+	deadA := httptest.NewServer(http.HandlerFunc(nil))
+	deadB := httptest.NewServer(http.HandlerFunc(nil))
+	urlA, urlB := deadA.URL, deadB.URL
+	deadA.Close()
+	deadB.Close()
+
+	cfg := fastConfig("http://self:1", urlA, urlB)
+	cfg.Hedge = 1
+	cfg.Retries = -1 // no retries: each attempt fails once
+	cfg.DownFor = time.Minute
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A key whose two-candidate chain is both dead peers (not self).
+	var key string
+	for i := 0; i < 100000 && key == ""; i++ {
+		k := "skip-" + time.Duration(i).String()
+		owners := c.ring.Load().Owners(k, 2)
+		if owners[0] != c.Self() && owners[1] != c.Self() {
+			key = k
+		}
+	}
+	if key == "" {
+		t.Fatal("no suitable key found")
+	}
+	// First forward attempts both candidates: exactly one hedge (the second
+	// candidate), both get down-marked.
+	c.Forward(context.Background(), key, "/x", nil)
+	if got := c.Metrics().Hedges.Load(); got != 1 {
+		t.Fatalf("hedges after first forward = %d, want 1", got)
+	}
+	// Second forward skips both down-marked candidates without attempting
+	// anything: the hedge counter must not move.
+	c.Forward(context.Background(), key, "/x", nil)
+	if got := c.Metrics().Hedges.Load(); got != 1 {
+		t.Fatalf("hedges after skip-only forward = %d, want 1 (skips are not hedges)", got)
+	}
+}
+
+// TestDownProbeSingleflight: when a down peer's window lapses, exactly one
+// concurrent caller wins the probe; the rest keep skipping until the probe
+// resolves. Regression: usable used to delete the down entry on window
+// expiry, letting every waiting request pile onto a still-dead peer at
+// once (thundering probe).
+func TestDownProbeSingleflight(t *testing.T) {
+	cfg := fastConfig("http://self:1", "http://peer:1")
+	cfg.DownFor = 10 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const peer = "http://peer:1"
+	c.markDown(peer, errors.New("test"))
+	if c.usable(peer) {
+		t.Fatal("peer usable inside the down window")
+	}
+	time.Sleep(20 * time.Millisecond) // window lapses
+
+	var winners atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if c.usable(peer) {
+				winners.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := winners.Load(); got != 1 {
+		t.Fatalf("%d concurrent callers won the probe, want exactly 1", got)
+	}
+
+	// The losing callers stay gated while the probe is in flight…
+	if c.usable(peer) {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	// …a released probe (caller cancel, no verdict) re-opens the slot…
+	c.probeRelease(peer)
+	if !c.usable(peer) {
+		t.Fatal("probe slot not reclaimable after release")
+	}
+	// …and a successful probe clears the state entirely.
+	c.markUp(peer)
+	if !c.usable(peer) || !c.healthy(peer) {
+		t.Fatal("peer not fully usable after markUp")
 	}
 }

@@ -19,6 +19,17 @@ type Metrics struct {
 	LoopGuard *obs.Counter // forwarded requests served locally despite not owning the key
 	Fallbacks *obs.Counter // forwards that exhausted all owners and computed locally
 	Peers     *obs.Gauge   // current ring membership size
+	Suspects  *obs.Gauge   // members currently suspected by gossip
+
+	ReplicaPushes     *obs.Counter // async entry pushes to sibling owners
+	ReplicaPushErrors *obs.Counter // failed pushes (will be healed by anti-entropy)
+	ReplicaDrops      *obs.Counter // pushes dropped on queue overflow
+	ReplicaProbes     *obs.Counter // cache-only sibling fetches before a compute
+	ReplicaProbeHits  *obs.Counter // sibling fetches that found the entry
+	AntiEntropyPasses *obs.Counter // completed re-replication passes
+	AntiEntropyFills  *obs.Counter // entries pushed by anti-entropy
+	Gossips           *obs.Counter // completed gossip exchanges
+	GossipFailures    *obs.Counter // failed gossip exchanges
 }
 
 // NewMetrics returns the cluster metric set over reg (nil disables).
@@ -30,6 +41,17 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		LoopGuard: reg.Counter("beyondftd_cluster_loop_guard_total"),
 		Fallbacks: reg.Counter("beyondftd_cluster_fallbacks_total"),
 		Peers:     reg.Gauge("beyondftd_cluster_peers"),
+		Suspects:  reg.Gauge("beyondftd_cluster_suspects"),
+
+		ReplicaPushes:     reg.Counter("beyondftd_cluster_replica_pushes_total"),
+		ReplicaPushErrors: reg.Counter("beyondftd_cluster_replica_push_errors_total"),
+		ReplicaDrops:      reg.Counter("beyondftd_cluster_replica_drops_total"),
+		ReplicaProbes:     reg.Counter("beyondftd_cluster_replica_probes_total"),
+		ReplicaProbeHits:  reg.Counter("beyondftd_cluster_replica_probe_hits_total"),
+		AntiEntropyPasses: reg.Counter("beyondftd_cluster_anti_entropy_passes_total"),
+		AntiEntropyFills:  reg.Counter("beyondftd_cluster_anti_entropy_fills_total"),
+		Gossips:           reg.Counter("beyondftd_cluster_gossips_total"),
+		GossipFailures:    reg.Counter("beyondftd_cluster_gossip_failures_total"),
 	}
 }
 

@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeStore is an httptest peer speaking the replication wire protocol:
+// an in-memory key→Entry map behind PathFill / PathEntry / PathHave.
+type fakeStore struct {
+	mu      sync.Mutex
+	entries map[string]Entry
+	fills   int
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{entries: map[string]Entry{}} }
+
+func (fs *fakeStore) put(e Entry) {
+	fs.mu.Lock()
+	fs.entries[e.Key] = e
+	fs.mu.Unlock()
+}
+
+func (fs *fakeStore) has(key string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.entries[key]
+	return ok
+}
+
+func (fs *fakeStore) fillCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.fills
+}
+
+func (fs *fakeStore) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathFill, func(w http.ResponseWriter, r *http.Request) {
+		var e Entry
+		if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fs.mu.Lock()
+		_, had := fs.entries[e.Key]
+		if !had {
+			fs.entries[e.Key] = e
+			fs.fills++
+		}
+		fs.mu.Unlock()
+		json.NewEncoder(w).Encode(FillResponse{Had: had})
+	})
+	mux.HandleFunc("GET "+PathEntry+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		fs.mu.Lock()
+		e, ok := fs.entries[r.PathValue("key")]
+		fs.mu.Unlock()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(e)
+	})
+	mux.HandleFunc("POST "+PathHave, func(w http.ResponseWriter, r *http.Request) {
+		var req HaveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := HaveResponse{Have: make([]bool, len(req.Keys))}
+		fs.mu.Lock()
+		for i, k := range req.Keys {
+			_, resp.Have[i] = fs.entries[k]
+		}
+		fs.mu.Unlock()
+		json.NewEncoder(w).Encode(resp)
+	})
+	return mux
+}
+
+// replCluster builds a started R=2 cluster whose single peer is the fake
+// store, cleaned up with the test.
+func replCluster(t *testing.T, peerURL string) *Cluster {
+	t.Helper()
+	cfg := fastConfig("http://self:1", peerURL)
+	cfg.Replication = 2
+	cfg.AntiEntropyInterval = time.Hour // manual passes only
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func waitQuiesced(t *testing.T, c *Cluster) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.ReplicationPending() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replication queue never drained (%d pending)", c.ReplicationPending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReplicateAsyncPushes: a fresh entry is pushed to the sibling owner in
+// the background, and a second push of the same key is a had=true no-op —
+// replica fill is idempotent.
+func TestReplicateAsyncPushes(t *testing.T) {
+	store := newFakeStore()
+	peer := httptest.NewServer(store.handler())
+	defer peer.Close()
+	c := replCluster(t, peer.URL)
+
+	e := Entry{Key: "k1", Name: "job", Spec: "{}", Salt: "s", Result: json.RawMessage(`{"v":1}`)}
+	c.ReplicateAsync(e)
+	waitQuiesced(t, c)
+	if !store.has("k1") {
+		t.Fatal("entry not replicated to the sibling owner")
+	}
+	if got := c.Metrics().ReplicaPushes.Load(); got != 1 {
+		t.Fatalf("replica pushes = %d, want 1", got)
+	}
+
+	// Idempotence: the same entry again reaches the peer, which reports Had.
+	c.ReplicateAsync(e)
+	waitQuiesced(t, c)
+	if got := store.fillCount(); got != 1 {
+		t.Fatalf("store accepted %d fills, want 1 (duplicate must be a no-op)", got)
+	}
+	if got := c.Metrics().ReplicaPushes.Load(); got != 2 {
+		t.Fatalf("replica pushes = %d, want 2 (push happened, receiver deduped)", got)
+	}
+}
+
+// TestReplicateAsyncSingleOwnerNoop: with R=1 nothing replicates.
+func TestReplicateAsyncSingleOwnerNoop(t *testing.T) {
+	store := newFakeStore()
+	peer := httptest.NewServer(store.handler())
+	defer peer.Close()
+	cfg := fastConfig("http://self:1", peer.URL)
+	c, err := New(cfg) // Replication defaults to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	c.ReplicateAsync(Entry{Key: "k", Name: "j", Spec: "{}", Salt: "s", Result: json.RawMessage(`1`)})
+	time.Sleep(20 * time.Millisecond)
+	if store.has("k") {
+		t.Fatal("R=1 cluster replicated an entry")
+	}
+}
+
+// TestFetchSibling: the cache-only sibling probe returns a held entry, and
+// reports a clean miss (not an error) for an absent one.
+func TestFetchSibling(t *testing.T) {
+	store := newFakeStore()
+	store.put(Entry{Key: "warm", Name: "j", Spec: "{}", Salt: "s", Result: json.RawMessage(`{"v":2}`)})
+	peer := httptest.NewServer(store.handler())
+	defer peer.Close()
+	c := replCluster(t, peer.URL)
+
+	e, ok := c.FetchSibling(context.Background(), "warm")
+	if !ok || string(e.Result) != `{"v":2}` {
+		t.Fatalf("sibling fetch = %+v ok=%v, want the stored entry", e, ok)
+	}
+	if _, ok := c.FetchSibling(context.Background(), "cold"); ok {
+		t.Fatal("sibling fetch invented an absent entry")
+	}
+	if probes := c.Metrics().ReplicaProbes.Load(); probes != 2 {
+		t.Fatalf("probes = %d, want 2", probes)
+	}
+	if hits := c.Metrics().ReplicaProbeHits.Load(); hits != 1 {
+		t.Fatalf("probe hits = %d, want 1", hits)
+	}
+}
+
+// TestAntiEntropyPass: a pass offers local entries to the sibling owner and
+// pushes exactly the ones it lacks.
+func TestAntiEntropyPass(t *testing.T) {
+	store := newFakeStore()
+	store.put(Entry{Key: "both", Name: "j", Spec: "{}", Salt: "s", Result: json.RawMessage(`1`)})
+	peer := httptest.NewServer(store.handler())
+	defer peer.Close()
+	c := replCluster(t, peer.URL)
+
+	local := []Entry{
+		{Key: "both", Name: "j", Spec: "{}", Salt: "s", Result: json.RawMessage(`1`)},
+		{Key: "only-local", Name: "j", Spec: "{}", Salt: "s", Result: json.RawMessage(`2`)},
+	}
+	c.SetEntriesSource(func(ctx context.Context, yield func(Entry) bool) error {
+		for _, e := range local {
+			if !yield(e) {
+				return nil
+			}
+		}
+		return nil
+	})
+	c.antiEntropyPass(context.Background())
+	if !store.has("only-local") {
+		t.Fatal("anti-entropy did not push the missing entry")
+	}
+	if got := c.Metrics().AntiEntropyFills.Load(); got != 1 {
+		t.Fatalf("anti-entropy fills = %d, want 1 (the already-present key must be skipped)", got)
+	}
+	if got := store.fillCount(); got != 1 {
+		t.Fatalf("store accepted %d fills, want 1", got)
+	}
+}
+
+// TestReplicatorQueueOverflowDrops: the push queue is lossy under overload
+// (drops are counted, anti-entropy heals later) instead of blocking the
+// serving path.
+func TestReplicatorQueueOverflowDrops(t *testing.T) {
+	cfg := fastConfig("http://self:1", "http://peer:1")
+	cfg.Replication = 2
+	c, err := New(cfg) // never started: the queue only fills
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < replQueueDepth+10; i++ {
+		c.ReplicateAsync(Entry{Key: "k", Name: "j", Spec: "{}", Salt: "s", Result: json.RawMessage(`1`)})
+	}
+	if got := c.Metrics().ReplicaDrops.Load(); got != 10 {
+		t.Fatalf("replica drops = %d, want 10", got)
+	}
+	if got := c.ReplicationPending(); got != replQueueDepth {
+		t.Fatalf("pending = %d, want %d", got, replQueueDepth)
+	}
+}

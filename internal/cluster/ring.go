@@ -134,6 +134,12 @@ func (r *Ring) Share() map[string]float64 {
 	if len(r.points) == 0 {
 		return shares
 	}
+	if len(r.points) == 1 {
+		// The wrap-around arc from a point to itself is the whole circle,
+		// but computes as 0 in the uint64 subtraction below.
+		shares[r.nodes[r.points[0].node]] = 1
+		return shares
+	}
 	// The arc (prev.hash, p.hash] belongs to p's node; the wrap-around arc
 	// from the last point to the first belongs to the first point's node.
 	const circle = float64(1<<63) * 2 // 2^64

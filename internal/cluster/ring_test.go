@@ -140,3 +140,88 @@ func TestRingOwners(t *testing.T) {
 		t.Fatal("empty ring must own nothing")
 	}
 }
+
+// TestRingShareSums: Share sums to 1 for every ring size, including the
+// degenerate single-point ring. Regression: a one-point ring's wrap-around
+// arc (a point to itself) computed as 0 in uint64 subtraction, reporting
+// share 0 instead of the whole circle.
+func TestRingShareSums(t *testing.T) {
+	cases := []struct {
+		nodes, vnodes int
+	}{
+		{1, 1}, // the regression: one point owns the entire circle
+		{1, DefaultVNodes},
+		{2, 1},
+		{3, 16},
+		{5, DefaultVNodes},
+	}
+	for _, tc := range cases {
+		r := NewRing(nodeNames(tc.nodes), tc.vnodes)
+		var sum float64
+		for node, share := range r.Share() {
+			if share <= 0 {
+				t.Errorf("nodes=%d vnodes=%d: node %s share %v, want > 0", tc.nodes, tc.vnodes, node, share)
+			}
+			sum += share
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("nodes=%d vnodes=%d: shares sum to %v, want 1", tc.nodes, tc.vnodes, sum)
+		}
+		if tc.nodes == 1 {
+			if got := r.Share()[nodeNames(1)[0]]; math.Abs(got-1) > 1e-9 {
+				t.Errorf("single-node ring share = %v, want exactly 1", got)
+			}
+		}
+	}
+}
+
+// TestRingReplicaOwnersSurviveDeath: with R=2, removing any single node
+// leaves every key with at least one of its original owners — the
+// replicated-ownership invariant that makes a node death lose zero cached
+// bytes. Successor sets are clockwise-stable: newOwners(key, 2) must be a
+// superset of oldOwners(key, 2) minus the dead node, and a rejoin restores
+// the original owner set exactly.
+func TestRingReplicaOwnersSurviveDeath(t *testing.T) {
+	const R = 2
+	nodes := nodeNames(5)
+	full := NewRing(nodes, 64)
+	keys := testKeys(4096)
+	for _, dead := range nodes {
+		survivors := make([]string, 0, len(nodes)-1)
+		for _, n := range nodes {
+			if n != dead {
+				survivors = append(survivors, n)
+			}
+		}
+		after := NewRing(survivors, 64)
+		for _, k := range keys {
+			old := full.Owners(k, R)
+			now := make(map[string]bool, R)
+			for _, o := range after.Owners(k, R) {
+				now[o] = true
+			}
+			kept := 0
+			for _, o := range old {
+				if o == dead {
+					continue
+				}
+				if !now[o] {
+					t.Fatalf("dead=%s key=%s: surviving owner %s evicted (old=%v new=%v)",
+						dead, k, o, old, after.Owners(k, R))
+				}
+				kept++
+			}
+			if kept == 0 {
+				t.Fatalf("dead=%s key=%s: no surviving owner kept (old=%v)", dead, k, old)
+			}
+		}
+		// Rejoin: the original membership reproduces the original owners.
+		rejoined := NewRing(append(append([]string{}, survivors...), dead), 64)
+		for _, k := range keys[:256] {
+			a, b := full.Owners(k, R), rejoined.Owners(k, R)
+			if len(a) != len(b) || a[0] != b[0] || a[1] != b[1] {
+				t.Fatalf("rejoin changed owners for %s: %v vs %v", k, a, b)
+			}
+		}
+	}
+}

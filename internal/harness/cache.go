@@ -73,18 +73,48 @@ func (c *Cache) path(key string) string {
 // nil); a corrupt or mismatched entry is treated as a miss so a damaged
 // cache degrades to recomputation, never to a wrong answer.
 func (c *Cache) Get(key string) (json.RawMessage, bool, error) {
+	e, ok, err := c.Load(key)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	return e.Result, true, nil
+}
+
+// Load returns the full envelope stored under key, with the same
+// missing/corrupt semantics as Get. The metadata (job, spec, salt) is what
+// lets one node re-offer an entry to another: the receiver can rederive and
+// verify the content address before accepting the bytes.
+func (c *Cache) Load(key string) (Entry, bool, error) {
 	data, err := os.ReadFile(c.path(key))
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil, false, nil
+		return Entry{}, false, nil
 	}
 	if err != nil {
-		return nil, false, fmt.Errorf("harness: cache read: %w", err)
+		return Entry{}, false, fmt.Errorf("harness: cache read: %w", err)
 	}
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil || e.Key != key || e.Result == nil {
-		return nil, false, nil // corrupt: recompute
+		return Entry{}, false, nil // corrupt: recompute
 	}
-	return e.Result, true, nil
+	return e, true, nil
+}
+
+// Keys lists the key of every entry currently in the cache, unordered.
+// Entries that appear or vanish concurrently are simply included or not —
+// callers (cache status, anti-entropy walks) tolerate both.
+func (c *Cache) Keys() ([]string, error) {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("harness: cache keys: %w", err)
+	}
+	keys := make([]string, 0, len(des))
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(de.Name(), ".json"))
+	}
+	return keys, nil
 }
 
 // Put stores a result under key, atomically.

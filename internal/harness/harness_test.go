@@ -120,6 +120,61 @@ func TestCacheRoundTripAndCorruption(t *testing.T) {
 	}
 }
 
+func TestCacheLoadAndKeys(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if ks, err := c.Keys(); err != nil || len(ks) != 0 {
+		t.Fatalf("empty cache keys = %v, %v", ks, err)
+	}
+	want := map[string]Entry{}
+	for i := 0; i < 3; i++ {
+		spec := fmt.Sprintf(`{"i":%d}`, i)
+		key := Key("job", spec, "salt")
+		e := Entry{Job: "job", Spec: spec, Salt: "salt", Result: json.RawMessage(fmt.Sprintf(`{"v":%d}`, i))}
+		if err := c.Put(key, e); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		want[key] = e
+	}
+	// Noise the walk must skip: a subdirectory and a non-.json stray.
+	if err := os.Mkdir(filepath.Join(c.Dir(), "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(c.Dir(), "stray.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := c.Keys()
+	if err != nil {
+		t.Fatalf("keys: %v", err)
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v, want the %d stored entries", keys, len(want))
+	}
+	for _, k := range keys {
+		e, ok, err := c.Load(k)
+		if err != nil || !ok {
+			t.Fatalf("load %s: ok=%v err=%v", k, ok, err)
+		}
+		w := want[k]
+		if e.Job != w.Job || e.Spec != w.Spec || e.Salt != w.Salt || string(e.Result) != string(w.Result) {
+			t.Fatalf("load %s = %+v, want %+v", k, e, w)
+		}
+		if e.Key != k {
+			t.Fatalf("loaded envelope key = %q, want %q (Put must stamp it)", e.Key, k)
+		}
+		// The envelope's metadata must rederive its own content address —
+		// that's what lets a replica verify a pushed entry before accepting.
+		if Key(e.Job, e.Spec, e.Salt) != k {
+			t.Fatalf("entry %s does not rederive its own key", k)
+		}
+	}
+	if _, ok, err := c.Load("absent"); ok || err != nil {
+		t.Fatalf("load of absent key: ok=%v err=%v, want clean miss", ok, err)
+	}
+}
+
 func TestRunComputesCachesAndResumes(t *testing.T) {
 	cache, err := OpenCache(t.TempDir())
 	if err != nil {

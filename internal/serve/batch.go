@@ -148,20 +148,41 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Requests.Add(1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
+	// bctx governs every in-flight item: it inherits the request's
+	// cancellation and is additionally canceled the moment a response write
+	// fails — once nobody is reading the stream, finishing (or starting)
+	// items is pure waste.
+	bctx, bcancel := context.WithCancel(r.Context())
+	defer bcancel()
 	var encMu sync.Mutex
 	enc := json.NewEncoder(w)
 	var errCount int
+	var broken bool
 	emit := func(line batchLine) {
 		encMu.Lock()
 		defer encMu.Unlock()
+		if broken {
+			return
+		}
 		if line.Error != "" {
 			errCount++
 			s.metrics.Errors.Add(1)
 		}
-		enc.Encode(line)
+		if err := enc.Encode(line); err != nil {
+			// The client is gone (or the connection died). Stop the stream:
+			// no further lines, no further items.
+			broken = true
+			bcancel()
+			return
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
+	}
+	streamBroken := func() bool {
+		encMu.Lock()
+		defer encMu.Unlock()
+		return broken
 	}
 
 	workers := 2*s.cfg.Workers + 2
@@ -174,6 +195,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 64<<10), maxBatchLine)
 	for sc.Scan() {
+		if bctx.Err() != nil || streamBroken() {
+			break // writer failed or client vanished: stop accepting lines
+		}
 		raw := sc.Bytes()
 		if len(bytes.TrimSpace(raw)) == 0 {
 			continue
@@ -200,7 +224,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			emit(s.runBatchQuery(r, idx, q))
+			emit(s.runBatchQuery(bctx, r, idx, q))
 		}()
 	}
 	if err := sc.Err(); err != nil {
@@ -212,13 +236,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // runBatchQuery runs one resolved item through the engine, retrying
 // admission rejections (local and peer) with backoff while the batch
-// connection lives. Each attempt gets its own RequestTimeout deadline.
-func (s *Server) runBatchQuery(r *http.Request, idx int, q *batchQuery) batchLine {
+// stream lives. Each attempt gets its own RequestTimeout deadline under
+// ctx, so a failed response write cancels the attempt mid-flight.
+func (s *Server) runBatchQuery(ctx context.Context, r *http.Request, idx int, q *batchQuery) batchLine {
 	start := time.Now()
 	backoff := batchSaturatedBackoff
 	for {
-		ctx, cancel := s.requestCtx(r)
-		data, key, src, err := s.engine.DoRemote(ctx, q.name, q.spec, q.salt,
+		actx, cancel := s.timeoutCtx(ctx)
+		data, key, src, err := s.engine.DoRemote(actx, q.name, q.spec, q.salt,
 			s.remoteFunc(r, q.fwd, q.name, q.spec, q.salt), q.compute)
 		cancel()
 		if err == nil {
@@ -230,7 +255,7 @@ func (s *Server) runBatchQuery(r *http.Request, idx int, q *batchQuery) batchLin
 				Result:     data,
 			}
 		}
-		if !errors.Is(err, errSaturated) || r.Context().Err() != nil {
+		if !errors.Is(err, errSaturated) || ctx.Err() != nil {
 			return batchLine{Index: batchIndex(idx), Error: err.Error()}
 		}
 		select {
@@ -238,7 +263,7 @@ func (s *Server) runBatchQuery(r *http.Request, idx int, q *batchQuery) batchLin
 			if backoff *= 2; backoff > batchSaturatedBackoffMax {
 				backoff = batchSaturatedBackoffMax
 			}
-		case <-r.Context().Done():
+		case <-ctx.Done():
 			return batchLine{Index: batchIndex(idx), Error: "batch canceled while retrying saturated item"}
 		}
 	}

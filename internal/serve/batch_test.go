@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -183,5 +185,61 @@ func TestServeBatchRetriesSaturation(t *testing.T) {
 	}
 	if out[0].Error != "" || len(out[0].Result) == 0 {
 		t.Fatalf("line 0 = %+v, want a result after retrying", out[0])
+	}
+}
+
+// brokenWriter is a ResponseWriter whose Write always fails — a client that
+// disconnected mid-stream.
+type brokenWriter struct{ h http.Header }
+
+func (b *brokenWriter) Header() http.Header        { return b.h }
+func (b *brokenWriter) Write([]byte) (int, error)  { return 0, errors.New("client gone") }
+func (b *brokenWriter) WriteHeader(statusCode int) {}
+
+// TestBatchBrokenWriterStops: once a response write fails, the batch
+// handler must stop decoding input lines and cancel in-flight items instead
+// of grinding through the whole stream for a reader that is gone.
+// Regression: emit ignored enc.Encode errors, so the scanner kept launching
+// workers and the handler blocked until every item computed.
+func TestBatchBrokenWriterStops(t *testing.T) {
+	s, err := New(testConfig(t, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold any compute open so an in-flight item is provably pending when
+	// the write failure hits; the handler must return without waiting on it.
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	var once sync.Once
+	s.engine.computeStarted = func(string) {
+		once.Do(func() { close(started) })
+		<-release
+	}
+
+	var lines []string
+	lines = append(lines, `{"kind":"throughput","spec":`+smallThroughputBody+`}`) // launches the blocked compute
+	for i := 0; i < 200; i++ {
+		lines = append(lines, `{"kind":"nope"}`) // each produces an error line → a write attempt
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch",
+		strings.NewReader(strings.Join(lines, "\n")+"\n"))
+
+	done := make(chan struct{})
+	go func() {
+		s.handleBatch(&brokenWriter{h: http.Header{}}, req)
+		close(done)
+	}()
+	<-started // the first item is mid-compute; the next line's write fails
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handleBatch did not return after the response writer failed")
+	}
+	// The scanner must have stopped at the first failed write, not consumed
+	// all 201 lines.
+	if got := s.metrics.BatchItems.Load(); got > 5 {
+		t.Fatalf("batch accepted %d items after the client vanished, want a handful at most", got)
 	}
 }

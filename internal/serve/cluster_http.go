@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"beyondft/internal/cluster"
+	"beyondft/internal/harness"
+)
+
+// Peer-to-peer replication and membership endpoints (the server half of
+// internal/cluster/replicate.go's clients). They are mounted
+// unconditionally and degrade gracefully while standalone: fill and entry
+// only touch the local caches, have answers honestly, gossip returns 503.
+//
+// None of these endpoints computes or forwards — that is what makes the
+// primary's sibling probe loop-safe: a probe can only ever read a cache.
+
+// maxClusterBody bounds one replication-plane request body.
+const maxClusterBody = 64 << 20
+
+func decodeClusterBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxClusterBody)).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decode request: %v", err)})
+		return false
+	}
+	return true
+}
+
+// handleClusterFill accepts one pushed entry. The content address is
+// rederived from the carried (name, spec, salt) triple before the bytes are
+// accepted — a mismatched push is a protocol error, not a cache write.
+func (s *Server) handleClusterFill(w http.ResponseWriter, r *http.Request) {
+	var e cluster.Entry
+	if !decodeClusterBody(w, r, &e) {
+		return
+	}
+	if len(e.Result) == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "fill without result"})
+		return
+	}
+	if got := harness.Key(e.Name, e.Spec, e.Salt); got != e.Key {
+		writeJSON(w, http.StatusBadRequest, apiError{
+			Error: fmt.Sprintf("fill key mismatch: body derives %.12s…, header says %.12s…", got, e.Key),
+		})
+		return
+	}
+	had := s.engine.Fill(e.Key, e.Name, e.Spec, e.Salt, e.Result)
+	writeJSON(w, http.StatusOK, cluster.FillResponse{Had: had})
+}
+
+// handleClusterEntry serves one entry from the durable tier, metadata and
+// all, or 404. Strictly cache-only.
+func (s *Server) handleClusterEntry(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	l2 := s.engine.l2
+	if l2 == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no durable tier"})
+		return
+	}
+	e, ok, err := l2.Load(key)
+	if err != nil || !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "not cached"})
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.Entry{
+		Key: key, Name: e.Job, Spec: e.Spec, Salt: e.Salt, Result: e.Result,
+	})
+}
+
+// maxHaveKeys bounds one have query (anti-entropy batches well under this).
+const maxHaveKeys = 4096
+
+// handleClusterHave answers which of the asked keys are durably present.
+func (s *Server) handleClusterHave(w http.ResponseWriter, r *http.Request) {
+	var req cluster.HaveRequest
+	if !decodeClusterBody(w, r, &req) {
+		return
+	}
+	if len(req.Keys) > maxHaveKeys {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("have query exceeds %d keys", maxHaveKeys)})
+		return
+	}
+	have := make([]bool, len(req.Keys))
+	for i, k := range req.Keys {
+		have[i] = s.engine.Has(k)
+	}
+	writeJSON(w, http.StatusOK, cluster.HaveResponse{Have: have})
+}
+
+// handleClusterGossip performs the server half of a membership exchange.
+func (s *Server) handleClusterGossip(w http.ResponseWriter, r *http.Request) {
+	cl := s.cluster.Load()
+	if cl == nil || cl.Membership() == nil {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "gossip disabled"})
+		return
+	}
+	var req cluster.GossipRequest
+	if !decodeClusterBody(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.GossipResponse{
+		Members: cl.HandleGossip(req.From, req.Members),
+	})
+}

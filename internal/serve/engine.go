@@ -63,11 +63,29 @@ type Engine struct {
 
 	l2Puts atomic.Int64
 
+	// onFresh, when set, runs after a fresh compute's result has landed in
+	// the local tiers — the cluster tier hooks replication here, so sibling
+	// replica owners receive the bytes without the request waiting on them.
+	onFresh atomic.Pointer[FreshHook]
+
 	// computeStarted, when non-nil (tests only), runs in the leader
 	// goroutine after admission granted a slot and before compute begins.
 	// The coalescing / saturation / drain tests use it to hold a compute
 	// open at a known point.
 	computeStarted func(key string)
+}
+
+// FreshHook observes freshly computed results (see Engine.SetFreshHook).
+type FreshHook func(key, name, spec, salt string, data json.RawMessage)
+
+// SetFreshHook installs (or, with nil, removes) the fresh-compute observer.
+// Safe to call concurrently with serving.
+func (e *Engine) SetFreshHook(fn FreshHook) {
+	if fn == nil {
+		e.onFresh.Store(nil)
+		return
+	}
+	e.onFresh.Store(&fn)
 }
 
 // EngineConfig configures an Engine.
@@ -281,7 +299,52 @@ func (e *Engine) lookupOrCompute(ctx context.Context, sp *obs.Span, key, name, s
 			}
 		}
 	}
+	if hook := e.onFresh.Load(); hook != nil {
+		(*hook)(key, name, spec, salt, data)
+	}
 	return data, SourceComputed, nil
+}
+
+// Cached returns the locally cached bytes for key — L1 then L2, promoting a
+// disk hit into memory — without ever computing or forwarding. It backs the
+// cluster tier's cache-only entry reads, which must be loop-safe by
+// construction.
+func (e *Engine) Cached(key string) (json.RawMessage, bool) {
+	if data, ok := e.l1.Get(key); ok {
+		return data, true
+	}
+	if e.l2 != nil {
+		if data, hit, err := e.l2.Get(key); err == nil && hit {
+			e.l1.Put(key, data)
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// Has reports whether key is present in the node's durable tier (L2 when
+// configured, else L1) — the answer to an anti-entropy "have you got"
+// probe. It deliberately ignores an L1-only copy when a disk tier exists:
+// the durable tier is what replica placement counts.
+func (e *Engine) Has(key string) bool {
+	if e.l2 != nil {
+		_, hit, err := e.l2.Get(key)
+		return err == nil && hit
+	}
+	_, ok := e.l1.Get(key)
+	return ok
+}
+
+// Fill stores a replica-push result into the local tiers unless the key is
+// already durably present, and reports whether it was (the push was a
+// no-op). Content addressing makes double fills harmless, so the check is
+// an optimization and a test observable, not a correctness requirement.
+func (e *Engine) Fill(key, name, spec, salt string, data json.RawMessage) (had bool) {
+	if e.Has(key) {
+		return true
+	}
+	e.fill(key, name, spec, salt, data)
+	return false
 }
 
 // fill stores a peer-served result into both local tiers. Results are

@@ -130,6 +130,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/pathstats", s.handlePathStats)
 	s.mux.HandleFunc("POST /v1/whatif", s.handleWhatif)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	// Peer-to-peer replication and membership plane (paths defined by the
+	// cluster package; 503 / no-op while standalone).
+	s.mux.HandleFunc("POST "+cluster.PathFill, s.handleClusterFill)
+	s.mux.HandleFunc("GET "+cluster.PathEntry+"{key}", s.handleClusterEntry)
+	s.mux.HandleFunc("POST "+cluster.PathHave, s.handleClusterHave)
+	s.mux.HandleFunc("POST "+cluster.PathGossip, s.handleClusterGossip)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -147,14 +153,49 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // EnableCluster joins this node to a cluster: engine-backed endpoints start
-// forwarding off-owner keys to their ring owner and filling the local
-// caches from peer results. Safe to call before or after Start; passing nil
-// returns the node to standalone serving.
+// forwarding off-owner keys to their replica owners, filling the local
+// caches from peer results, replicating fresh computes to sibling owners,
+// and answering the peer replication/membership endpoints. Safe to call
+// before or after Start; passing nil returns the node to standalone
+// serving.
 func (s *Server) EnableCluster(cl *cluster.Cluster) {
 	s.cluster.Store(cl)
-	if cl != nil {
-		s.logf("serve: cluster enabled self=%s peers=%d", cl.Self(), len(cl.Peers()))
+	if cl == nil {
+		s.engine.SetFreshHook(nil)
+		return
 	}
+	cl.SetEntriesSource(s.localEntries)
+	s.engine.SetFreshHook(func(key, name, spec, salt string, data json.RawMessage) {
+		cl.ReplicateAsync(cluster.Entry{Key: key, Name: name, Spec: spec, Salt: salt, Result: data})
+	})
+	s.logf("serve: cluster enabled self=%s peers=%d replication=%d",
+		cl.Self(), len(cl.Peers()), cl.Replication())
+}
+
+// localEntries walks the disk tier for the cluster's anti-entropy pass. A
+// node without a disk tier has nothing durable to offer.
+func (s *Server) localEntries(ctx context.Context, yield func(cluster.Entry) bool) error {
+	l2 := s.engine.l2
+	if l2 == nil {
+		return nil
+	}
+	keys, err := l2.Keys()
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		e, ok, err := l2.Load(k)
+		if err != nil || !ok {
+			continue // raced with prune, or corrupt: nothing to offer
+		}
+		if !yield(cluster.Entry{Key: k, Name: e.Job, Spec: e.Spec, Salt: e.Salt, Result: e.Result}) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Cluster returns the node's cluster view (nil when standalone).
@@ -319,10 +360,17 @@ func decodeBody(r *http.Request, v any) error {
 
 // requestCtx applies the per-request compute deadline.
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return s.timeoutCtx(r.Context())
+}
+
+// timeoutCtx derives a per-attempt compute deadline from an arbitrary
+// parent (the batch path cancels attempts from its own stream context, not
+// the raw request's).
+func (s *Server) timeoutCtx(ctx context.Context) (context.Context, context.CancelFunc) {
 	if s.cfg.RequestTimeout > 0 {
-		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		return context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	}
-	return context.WithCancel(r.Context())
+	return context.WithCancel(ctx)
 }
 
 // queryResponse is the envelope of every engine-backed endpoint.
@@ -345,28 +393,53 @@ type forward struct {
 	body []byte
 }
 
-// remoteFunc builds the engine's remote stage for one request: forward to
-// the key's ring owner. It returns nil — serve locally — when clustering is
-// off, the query has no forwardable form, this node owns the key, or the
-// request already rode one forward hop (the loop guard: two nodes with
-// momentarily diverged ring views must not bounce a request forever).
+// remoteFunc builds the engine's remote stage for one request, by this
+// node's role for the key:
+//
+//   - primary owner (first of the key's R replica owners): on a local cache
+//     miss, probe the sibling owners' caches (cache-only, never computes)
+//     before computing — a freshly joined or rejoined primary warms itself
+//     from its replicas instead of recomputing bytes the fleet already has.
+//   - sibling replica owner or non-owner: forward to the owner chain; the
+//     owner's singleflight makes the compute exactly-once fleet-wide.
+//   - already-forwarded request (loop guard): never forward again. At an
+//     owner it keeps the cache-only sibling probe (still loop-safe: the
+//     probe endpoint cannot cascade); elsewhere it serves locally and
+//     counts the ownership disagreement.
+//
+// Returns nil — serve purely locally — when clustering is off, the query
+// has no forwardable form, or no remote stage applies.
 func (s *Server) remoteFunc(r *http.Request, fwd *forward, name, spec, salt string) RemoteFunc {
 	cl := s.cluster.Load()
 	if cl == nil || fwd == nil {
 		return nil
 	}
 	key := harness.Key(name, spec, salt)
+	owners := cl.Owners(key)
+	pos := -1
+	for i, o := range owners {
+		if o == cl.Self() {
+			pos = i
+			break
+		}
+	}
 	if cluster.Forwarded(r) {
-		if !cl.Owns(key) {
+		if pos < 0 {
 			// Ownership views disagree (membership change in flight); serving
 			// locally is still correct — results are content-addressed.
 			cl.Metrics().LoopGuard.Add(1)
+			return nil
 		}
-		return nil
+		return s.siblingProbe(cl, key, len(owners))
 	}
-	if cl.Owns(key) {
-		return nil
+	if pos == 0 {
+		return s.siblingProbe(cl, key, len(owners))
 	}
+	// Sibling replica (pos > 0) or non-owner: forward. A replica with the
+	// bytes never reaches here (the engine probes local tiers first); on a
+	// miss it joins the primary's flight like everyone else, and the owner
+	// chain leads back to itself right after the primary, so a dead primary
+	// means ErrSelf → compute locally.
 	return func(ctx context.Context) (json.RawMessage, error) {
 		body, peer, err := cl.Forward(ctx, key, fwd.path, fwd.body)
 		if err != nil {
@@ -386,6 +459,21 @@ func (s *Server) remoteFunc(r *http.Request, fwd *forward, name, spec, salt stri
 			return nil, fmt.Errorf("peer %s: response envelope without result", peer)
 		}
 		return env.Result, nil
+	}
+}
+
+// siblingProbe returns the primary-owner remote stage: a cache-only read of
+// the key's sibling replicas, or nil when the key has no siblings (R=1 or a
+// one-node ring) — then there is nobody to ask and the compute proceeds.
+func (s *Server) siblingProbe(cl *cluster.Cluster, key string, nOwners int) RemoteFunc {
+	if nOwners <= 1 {
+		return nil
+	}
+	return func(ctx context.Context) (json.RawMessage, error) {
+		if e, ok := cl.FetchSibling(ctx, key); ok {
+			return e.Result, nil
+		}
+		return nil, nil // no sibling has it: compute locally
 	}
 }
 
