@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-race vet bench bench-all bench-smoke bench-cluster serve-smoke cluster-smoke validate-smoke whatif-smoke sim-scale-smoke fuzz-smoke fuzz cover figures figures-full run examples clean
+.PHONY: all build test test-race vet bench bench-all bench-smoke bench-cluster serve-smoke cluster-smoke validate-smoke whatif-smoke sim-scale-smoke search-smoke fuzz-smoke fuzz cover figures figures-full run examples clean
 
 all: build test
 
 build:
 	go build ./...
 
-test: vet bench-smoke serve-smoke cluster-smoke validate-smoke whatif-smoke sim-scale-smoke fuzz-smoke cover
+test: vet bench-smoke serve-smoke cluster-smoke validate-smoke whatif-smoke sim-scale-smoke search-smoke fuzz-smoke cover
 
 # Full test suite with the per-package coverage gate (see README "Coverage
 # gate"): every internal/ package must hold >= 60% statement coverage.
@@ -24,7 +24,8 @@ test-race:
 		./internal/graph/... ./internal/fluid/... ./internal/tm/... \
 		./internal/serve/... ./internal/cluster/... ./internal/flowsim/... \
 		./internal/netsim/... ./internal/sim/... ./internal/minheap/... \
-		./internal/topology/... ./internal/validate/... ./internal/whatif/...
+		./internal/topology/... ./internal/validate/... ./internal/whatif/... \
+		./internal/search/...
 
 # Cross-model validation (DESIGN.md §10): exact LP vs Garg–Könemann vs
 # flowsim vs netsim on shared scenarios, plus conservation and replay
@@ -71,9 +72,32 @@ sim-scale-smoke:
 	@echo "sim-scale-smoke: ok (byte-identical across 1/2/8 shards and a 2-shard checkpoint resumed at 4 shards)"
 	@rm -rf $(SIMSCALE_DIR)
 
+# Design-search smoke (DESIGN.md §15): a tiny fixed-seed annealing search
+# via cmd/search, run at 1 and 8 workers and then resumed from the candidate
+# cache — stdout (trace + summary) must be byte-identical every time and the
+# best-found design must be >= the seed baseline. The written design file is
+# then evaluated by name through cmd/throughput, closing the loop from
+# search output to first-class topology. Wired into `make test`.
+SEARCH_DIR := .search-smoke
+SEARCH_ARGS := -topo jellyfish -n 12 -degree 3 -servers 2 -budget 14 -batch 5 -proxy-top 2 -coarse 0.3 -fine 0.15 -seed 3
+search-smoke:
+	@rm -rf $(SEARCH_DIR) && mkdir -p $(SEARCH_DIR)
+	@go build -o $(SEARCH_DIR)/search ./cmd/search
+	@go build -o $(SEARCH_DIR)/throughput ./cmd/throughput
+	@$(SEARCH_DIR)/search $(SEARCH_ARGS) -workers 1 > $(SEARCH_DIR)/s1.out 2>/dev/null
+	@$(SEARCH_DIR)/search $(SEARCH_ARGS) -workers 8 -cache $(SEARCH_DIR)/cache -out $(SEARCH_DIR)/designs > $(SEARCH_DIR)/s8.out 2>/dev/null
+	@$(SEARCH_DIR)/search $(SEARCH_ARGS) -workers 4 -cache $(SEARCH_DIR)/cache > $(SEARCH_DIR)/resumed.out 2>/dev/null
+	@cmp $(SEARCH_DIR)/s1.out $(SEARCH_DIR)/s8.out || { echo "search-smoke: worker count changed the search"; exit 1; }
+	@cmp $(SEARCH_DIR)/s1.out $(SEARCH_DIR)/resumed.out || { echo "search-smoke: cache resume changed the search"; exit 1; }
+	@awk '/^summary:/ { split($$2, b, "="); split($$3, v, "="); if (v[2] + 0 < b[2] + 0) { print "search-smoke: best " v[2] " below baseline " b[2]; exit 1 } found = 1 } END { if (!found) { print "search-smoke: no summary line"; exit 1 } }' $(SEARCH_DIR)/s1.out
+	@$(SEARCH_DIR)/throughput -designs $(SEARCH_DIR)/designs -topo design -name search-best -eps 0.15 > $(SEARCH_DIR)/thr.out
+	@grep -q '^topology: search-best' $(SEARCH_DIR)/thr.out || { echo "search-smoke: best design not evaluable by name"; cat $(SEARCH_DIR)/thr.out; exit 1; }
+	@echo "search-smoke: ok (deterministic across workers and cache resume; best >= baseline; design runs by name)"
+	@rm -rf $(SEARCH_DIR)
+
 # The native fuzz targets' seed corpora, run as plain tests so `make test`
 # catches postcondition regressions without fuzzing time.
-FUZZ_PKGS := ./internal/graph ./internal/minheap ./internal/sim ./internal/topology
+FUZZ_PKGS := ./internal/graph ./internal/minheap ./internal/sim ./internal/topology ./internal/search
 fuzz-smoke:
 	go test -run '^Fuzz' $(FUZZ_PKGS)
 
@@ -86,6 +110,7 @@ fuzz:
 	go test -run '^$$' -fuzz '^FuzzHeapVsSortOracle$$' -fuzztime $(FUZZTIME) ./internal/minheap
 	go test -run '^$$' -fuzz '^FuzzEngineEventOrder$$' -fuzztime $(FUZZTIME) ./internal/sim
 	go test -run '^$$' -fuzz '^FuzzTopologyGenerators$$' -fuzztime $(FUZZTIME) ./internal/topology
+	go test -run '^$$' -fuzz '^FuzzRewire$$' -fuzztime $(FUZZTIME) ./internal/search
 
 vet:
 	go vet ./...

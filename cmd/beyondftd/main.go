@@ -32,6 +32,7 @@ import (
 	"beyondft/internal/experiments"
 	"beyondft/internal/graph"
 	"beyondft/internal/serve"
+	"beyondft/internal/topology"
 )
 
 func main() {
@@ -57,10 +58,21 @@ func main() {
 	replication := flag.Int("replication", 1, "replica owners per key (R); R>1 survives node loss with no cold recomputes")
 	gossipInterval := flag.Duration("gossip-interval", time.Second, "membership gossip period (0 = static -peers list, no failure detection)")
 	readyGrace := flag.Duration("ready-grace", 0, "after a shutdown signal, keep serving this long with /readyz=503 before draining")
+	designDir := flag.String("designs", "", "directory of *.json topology designs to register at startup (kind \"design\" in /v1/throughput)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "beyondftd: ", log.LstdFlags|log.Lmsgprefix)
 	graph.SetParallelism(*workers)
+
+	if *designDir != "" {
+		names, err := topology.LoadDesignDir(*designDir)
+		if err != nil {
+			logger.Fatalf("loading designs from %s: %v", *designDir, err)
+		}
+		if len(names) > 0 {
+			logger.Printf("registered %d designs from %s: %s", len(names), *designDir, strings.Join(names, ", "))
+		}
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *full {

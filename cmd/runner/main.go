@@ -101,10 +101,11 @@ func config(full bool, seed int64) experiments.Config {
 }
 
 // registry is the figure/table registry plus the cross-model validation
-// sweep, the what-if scenario sweeps and the scale-tier simulation, so
-// `runner run` executes and caches all of them through the same pool. cache
-// (may be nil) feeds the what-if jobs' per-scenario entries and the scale
-// job's mid-simulation stage checkpoints, making interrupted runs resumable.
+// sweep, the what-if scenario sweeps, the scale-tier simulation and the
+// design searches, so `runner run` executes and caches all of them through
+// the same pool. cache (may be nil) feeds the what-if jobs' per-scenario
+// entries, the scale job's mid-simulation stage checkpoints and the search
+// jobs' per-candidate GK evaluations, making interrupted runs resumable.
 func registry(cfg experiments.Config, full bool, cache *harness.Cache) *harness.Registry {
 	reg := cfg.Registry()
 	for _, j := range validate.Jobs(cfg.Seed, full) {
@@ -114,6 +115,9 @@ func registry(cfg experiments.Config, full bool, cache *harness.Cache) *harness.
 		reg.MustRegister(j)
 	}
 	for _, j := range cfg.SimScaleJobs(cache) {
+		reg.MustRegister(j)
+	}
+	for _, j := range cfg.SearchJobs(cache) {
 		reg.MustRegister(j)
 	}
 	return reg

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	kind := flag.String("topo", "jellyfish", "fattree | jellyfish | xpander | slimfly | longhop")
+	kind := flag.String("topo", "jellyfish", "fattree | jellyfish | xpander | slimfly | longhop | design")
 	k := flag.Int("k", 8, "fat-tree k")
 	n := flag.Int("n", 54, "jellyfish: switch count")
 	degree := flag.Int("degree", 9, "network degree")
@@ -36,14 +36,34 @@ func main() {
 	exact := flag.Bool("exact", false, "use the exact LP (small instances only)")
 	delta := flag.Float64("delta", 1.5, "flexible-port cost premium")
 	seed := flag.Int64("seed", 1, "random seed")
+	designDir := flag.String("designs", "", "directory of *.json design files to load (e.g. cmd/search -out output)")
+	designName := flag.String("name", "", "design: evaluate this registered design (-topo design)")
 	workers := flag.Int("workers", graph.EnvParallelism(),
 		"parallel kernel workers, 0 = GOMAXPROCS (default $"+graph.WorkersEnv+")")
 	flag.Parse()
 
 	graph.SetParallelism(*workers)
+	if *designDir != "" {
+		if _, err := topology.LoadDesignDir(*designDir); err != nil {
+			fmt.Fprintf(os.Stderr, "loading designs from %s: %v\n", *designDir, err)
+			os.Exit(1)
+		}
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	var t *topology.Topology
 	switch *kind {
+	case "design":
+		d, ok := topology.LookupDesign(*designName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "design %q not registered (known: %v; load a directory with -designs)\n",
+				*designName, topology.DesignNames())
+			os.Exit(1)
+		}
+		var err error
+		if t, err = d.Build(); err != nil {
+			fmt.Fprintf(os.Stderr, "building design %q: %v\n", *designName, err)
+			os.Exit(1)
+		}
 	case "fattree":
 		t = &topology.NewFatTree(*k).Topology
 	case "jellyfish":

@@ -31,7 +31,7 @@ const maxSwitches = 8192
 // normalization so specs that differ only in ignored fields share one
 // cache entry.
 type TopoSpec struct {
-	Kind    string `json:"kind"`              // fattree | jellyfish | xpander | slimfly | longhop
+	Kind    string `json:"kind"`              // fattree | jellyfish | xpander | slimfly | longhop | design
 	K       int    `json:"k,omitempty"`       // fattree
 	N       int    `json:"n,omitempty"`       // jellyfish: switch count
 	Degree  int    `json:"degree,omitempty"`  // jellyfish / xpander / longhop
@@ -40,6 +40,14 @@ type TopoSpec struct {
 	Q       int    `json:"q,omitempty"`       // slimfly
 	Dim     int    `json:"dim,omitempty"`     // longhop
 	Seed    int64  `json:"seed,omitempty"`    // randomized constructions
+
+	// Name selects a registered design (kind "design") — e.g. a
+	// search-found topology loaded at daemon startup via -designs.
+	Name string `json:"name,omitempty"`
+	// DesignHash is the design's content address, filled from the registry
+	// during normalization so cache entries key on content: re-registering
+	// different bytes under the same name cannot alias a stale result.
+	DesignHash string `json:"design_hash,omitempty"`
 }
 
 // normalize fills defaults (cmd/throughput's) and zeroes fields the kind
@@ -51,7 +59,24 @@ func (s *TopoSpec) normalize() error {
 			*p = d
 		}
 	}
+	if s.Kind != "design" {
+		s.Name, s.DesignHash = "", ""
+	}
 	switch s.Kind {
+	case "design":
+		s.K, s.N, s.Degree, s.Lift, s.Servers, s.Q, s.Dim, s.Seed = 0, 0, 0, 0, 0, 0, 0, 0
+		if s.Name == "" {
+			return fmt.Errorf("design: name required")
+		}
+		d, ok := topology.LookupDesign(s.Name)
+		if !ok {
+			return fmt.Errorf("design %q not registered (daemon flag -designs loads a directory)", s.Name)
+		}
+		if len(d.Servers) > maxSwitches {
+			return fmt.Errorf("design %q has %d switches > limit %d", s.Name, len(d.Servers), maxSwitches)
+		}
+		s.DesignHash = d.Hash()
+		return nil
 	case "fattree":
 		def(&s.K, 8)
 		s.N, s.Degree, s.Lift, s.Servers, s.Q, s.Dim, s.Seed = 0, 0, 0, 0, 0, 0, 0
@@ -108,7 +133,7 @@ func (s *TopoSpec) normalize() error {
 			return fmt.Errorf("longhop degree=%d: need [dim=%d, 2^dim)", s.Degree, s.Dim)
 		}
 	default:
-		return fmt.Errorf("unknown topology kind %q (want fattree|jellyfish|xpander|slimfly|longhop)", s.Kind)
+		return fmt.Errorf("unknown topology kind %q (want fattree|jellyfish|xpander|slimfly|longhop|design)", s.Kind)
 	}
 	if s.Servers < 0 || s.Servers > 256 {
 		return fmt.Errorf("servers=%d: need [0,256]", s.Servers)
@@ -136,6 +161,15 @@ func (s *TopoSpec) build() (*topology.Topology, error) {
 	rng := rand.New(rand.NewSource(s.Seed))
 	var t *topology.Topology
 	switch s.Kind {
+	case "design":
+		d, ok := topology.LookupDesign(s.Name)
+		if !ok {
+			return nil, fmt.Errorf("design %q not registered", s.Name)
+		}
+		var err error
+		if t, err = d.Build(); err != nil {
+			return nil, err
+		}
 	case "fattree":
 		t = &topology.NewFatTree(s.K).Topology
 	case "jellyfish":
